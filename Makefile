@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick mode skips the multi-second suite-level claim checks.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper at full scale.
+tables:
+	$(GO) run ./cmd/benchtab -scale 1.0 all ablations
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/irdrop
+	$(GO) run ./examples/thermal3d
+	$(GO) run ./examples/labelprop
+	$(GO) run ./examples/transient
+	$(GO) run ./examples/sddsolve
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,270 @@
+package powerrchol
+
+// One testing.B benchmark per paper table/figure, plus microbenchmarks of
+// the kernels the paper's complexity claims rest on. The full printed
+// tables come from cmd/benchtab; these benches time the representative
+// configuration of each experiment so regressions show up in
+// `go test -bench=.`. benchScale keeps cases small enough for CI; raise
+// it (and use cmd/benchtab) for paper-scale measurements.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"powerrchol/internal/cases"
+	"powerrchol/internal/core"
+	"powerrchol/internal/order"
+	"powerrchol/internal/rng"
+)
+
+const benchScale = 0.35
+
+var (
+	problemCache = map[string]*cases.Problem{}
+	problemMu    sync.Mutex
+)
+
+func benchProblem(b *testing.B, name string) *cases.Problem {
+	b.Helper()
+	problemMu.Lock()
+	defer problemMu.Unlock()
+	if p, ok := problemCache[name]; ok {
+		return p
+	}
+	c, err := cases.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	problemCache[name] = p
+	return p
+}
+
+func benchSolve(b *testing.B, caseName string, opt Options) {
+	b.Helper()
+	p := benchProblem(b, caseName)
+	opt.Tol = 1e-6
+	opt.MaxIter = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(p.Sys, p.B, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Iterations), "pcg-iters")
+			b.ReportMetric(res.Timings.Total().Seconds()/(float64(p.NNZ())/1e6), "s/Mnnz")
+		}
+	}
+}
+
+// --- Table 1: LT-RChol vs original RChol (both AMD-ordered) ---
+
+func BenchmarkTable1_RChol_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodRChol, Seed: 7})
+}
+
+func BenchmarkTable1_LTRChol_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodLTRChol, Ordering: OrderAMD, Seed: 7})
+}
+
+func BenchmarkTable1_RChol_thupg6(b *testing.B) {
+	benchSolve(b, "thupg6", Options{Method: MethodRChol, Seed: 7})
+}
+
+func BenchmarkTable1_LTRChol_thupg6(b *testing.B) {
+	benchSolve(b, "thupg6", Options{Method: MethodLTRChol, Ordering: OrderAMD, Seed: 7})
+}
+
+// --- Table 2: reordering strategies for LT-RChol ---
+
+func BenchmarkTable2_OrderAMD_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodLTRChol, Ordering: OrderAMD, Seed: 7})
+}
+
+func BenchmarkTable2_OrderNatural_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodLTRChol, Ordering: OrderNatural, Seed: 7})
+}
+
+func BenchmarkTable2_OrderAlg4_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+// --- Table 3: PowerRChol vs feGRASS / feGRASS-IChol / AMG on power grids ---
+
+func BenchmarkTable3_FeGRASS_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodFeGRASS})
+}
+
+func BenchmarkTable3_FeGRASSIChol_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodFeGRASSIChol})
+}
+
+func BenchmarkTable3_AMG_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodAMG})
+}
+
+func BenchmarkTable3_PowerRChol_thupg1(b *testing.B) {
+	benchSolve(b, "thupg1", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+// --- Table 4: other SDDM classes ---
+
+func BenchmarkTable4_PowerRChol_comDBLP(b *testing.B) {
+	benchSolve(b, "com-DBLP", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+func BenchmarkTable4_RChol_comDBLP(b *testing.B) {
+	benchSolve(b, "com-DBLP", Options{Method: MethodRChol, Seed: 7})
+}
+
+func BenchmarkTable4_FeGRASS_comDBLP(b *testing.B) {
+	benchSolve(b, "com-DBLP", Options{Method: MethodFeGRASS})
+}
+
+func BenchmarkTable4_PowerRChol_ecology2(b *testing.B) {
+	benchSolve(b, "ecology2", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+func BenchmarkTable4_AMG_ecology2(b *testing.B) {
+	benchSolve(b, "ecology2", Options{Method: MethodAMG})
+}
+
+// --- Figure 1: PowerRChol vs PowerRush ---
+
+func BenchmarkFig1_PowerRush_thupg2(b *testing.B) {
+	benchSolve(b, "thupg2", Options{Method: MethodPowerRush})
+}
+
+func BenchmarkFig1_PowerRChol_thupg2(b *testing.B) {
+	benchSolve(b, "thupg2", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+// --- Figure 2: tolerance sweep on thupg1 ---
+
+func BenchmarkFig2_Tolerance(b *testing.B) {
+	p := benchProblem(b, "thupg1")
+	for _, tol := range []float64{1e-3, 1e-6, 1e-9} {
+		b.Run(fmt.Sprintf("tol=%.0e", tol), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(p.Sys, p.B, Options{
+					Method: MethodPowerRChol, Tol: tol, MaxIter: 2000, Seed: 7,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 3: time per million nonzeros across case classes ---
+
+func BenchmarkFig3_PowerRChol_thupg10(b *testing.B) {
+	benchSolve(b, "thupg10", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+func BenchmarkFig3_PowerRChol_comYoutube(b *testing.B) {
+	benchSolve(b, "com-Youtube", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+// --- Kernel microbenchmarks backing the complexity claims ---
+
+func BenchmarkKernel_FactorizeRChol(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	perm := order.AMD(p.Sys.G)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := core.Factorize(p.Sys, perm, core.Options{Variant: core.VariantRChol, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(f.NNZ()), "factor-nnz")
+		}
+	}
+}
+
+func BenchmarkKernel_FactorizeLT(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	perm := order.AMD(p.Sys.G)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := core.Factorize(p.Sys, perm, core.Options{Variant: core.VariantLT, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(f.NNZ()), "factor-nnz")
+		}
+	}
+}
+
+func BenchmarkKernel_OrderAMD(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.AMD(p.Sys.G)
+	}
+}
+
+func BenchmarkKernel_OrderAlg4(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order.Alg4(p.Sys.G, 0)
+	}
+}
+
+func BenchmarkKernel_SpMV(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	a := p.Sys.ToCSC()
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	r := rng.New(1)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkKernel_TriangularSolves(b *testing.B) {
+	p := benchProblem(b, "thupg2")
+	f, err := core.Factorize(p.Sys, order.Alg4(p.Sys.G, 0), core.Options{Variant: core.VariantLT, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := make([]float64, p.Sys.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Apply(z, p.B)
+	}
+}
+
+func BenchmarkKernel_LocateAscending(b *testing.B) {
+	const n = 4096
+	r := rng.New(3)
+	a := make([]float64, n)
+	t := make([]float64, n)
+	acc := 0.0
+	for i := range a {
+		acc += r.Float64()
+		a[i] = acc
+	}
+	tv := 0.0
+	for i := range t {
+		tv += r.Float64() * acc / n
+		t[i] = tv
+	}
+	out := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LocateAscending(a, t, out)
+	}
+}

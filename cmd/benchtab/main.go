@@ -1,0 +1,68 @@
+// Command benchtab regenerates the tables and figures of the PowerRChol
+// paper's evaluation on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	benchtab [-scale f] [-tol t] [-maxiter n] [-seed s] <experiment>...
+//
+// where experiment is one of: table1 table2 table3 table4 fig1 fig2 fig3
+// ablations all. "all" runs every table and figure (not the ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powerrchol/internal/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "linear scale factor for every benchmark case")
+	tol := flag.Float64("tol", 1e-6, "PCG relative tolerance")
+	maxIter := flag.Int("maxiter", 500, "PCG iteration cap (paper's divergence cutoff)")
+	seed := flag.Uint64("seed", 2024, "randomized factorization seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtab [flags] <table1|table2|table3|table4|fig1|fig2|fig3|ablations|all>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		Scale: *scale, Tol: *tol, MaxIter: *maxIter, Seed: *seed, Out: os.Stdout,
+	}
+	drivers := map[string][]func(bench.Config) error{
+		"table1": {bench.Table1},
+		"table2": {bench.Table2},
+		"table3": {bench.Table3},
+		"table4": {bench.Table4},
+		"fig1":   {bench.Fig1},
+		"fig2":   {bench.Fig2},
+		"fig3":   {bench.Fig3},
+		"ablations": {bench.AblationBuckets, bench.AblationSampling, bench.AblationHeavyRule,
+			bench.AblationRecovery, bench.AblationSamples, bench.AblationOrderings,
+			bench.AblationSmoothedAMG, bench.AblationDensity},
+		"all": {bench.Table1, bench.Table2, bench.Table3, bench.Table4,
+			bench.Fig1, bench.Fig2, bench.Fig3},
+	}
+	for _, name := range flag.Args() {
+		fns, ok := drivers[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		for _, fn := range fns {
+			t0 := time.Now()
+			if err := fn(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}

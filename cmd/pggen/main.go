@@ -1,0 +1,147 @@
+// Command pggen generates synthetic power-grid benchmarks and writes them
+// as IBM-format SPICE netlists or Matrix Market files.
+//
+// Usage:
+//
+//	pggen -case thupg1 -scale 0.5 -netlist out.sp       a registry case
+//	pggen -nx 256 -ny 256 -layers 5 -netlist out.sp     a custom grid
+//	pggen -case ecology2 -matrix out.mtx                matrix + rhs files
+//
+// With -matrix the right-hand side is written next to the matrix with a
+// ".rhs.mtx" suffix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerrchol/internal/cases"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/powergrid"
+	"powerrchol/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	caseName := flag.String("case", "", "registry case to generate (e.g. ibmpg3, com-DBLP)")
+	scale := flag.Float64("scale", 1.0, "scale factor")
+	nx := flag.Int("nx", 0, "custom grid width (with -ny)")
+	ny := flag.Int("ny", 0, "custom grid height")
+	layers := flag.Int("layers", 4, "custom grid metal layers")
+	seed := flag.Uint64("seed", 2024, "generator seed")
+	dual := flag.Bool("dual", false, "emit both VDD and GND nets in one netlist (IBM style)")
+	netlistPath := flag.String("netlist", "", "write an IBM-format SPICE netlist here (grid cases only)")
+	matrixPath := flag.String("matrix", "", "write a Matrix Market system here (rhs goes to <path>.rhs.mtx)")
+	flag.Parse()
+
+	if *netlistPath == "" && *matrixPath == "" {
+		flag.Usage()
+		return fmt.Errorf("one of -netlist or -matrix is required")
+	}
+
+	var (
+		sys  *graph.SDDM
+		b    []float64
+		grid *powergrid.Grid
+	)
+	switch {
+	case *nx > 0 && *ny > 0 && *dual:
+		if *netlistPath == "" {
+			return fmt.Errorf("-dual output is a netlist; pass -netlist")
+		}
+		nl, err := powergrid.GenerateDual(powergrid.Spec{
+			NX: *nx, NY: *ny, Layers: *layers, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*netlistPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := nl.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: dual-net, %d nodes, %d resistors\n",
+			*netlistPath, nl.NumNodes(), len(nl.Resistors))
+		return nil
+	case *nx > 0 && *ny > 0:
+		g, err := powergrid.Generate(powergrid.Spec{
+			NX: *nx, NY: *ny, Layers: *layers, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		grid, sys, b = g, g.Sys, g.B
+	case *caseName != "":
+		c, err := cases.ByName(*caseName)
+		if err != nil {
+			return err
+		}
+		p, err := c.Build(*scale)
+		if err != nil {
+			return err
+		}
+		sys, b = p.Sys, p.B
+		if c.Kind == "powergrid" && *netlistPath != "" {
+			// regenerate as a grid to keep node names and pad structure
+			return fmt.Errorf("use -nx/-ny for netlist output, or -matrix for case %q", *caseName)
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("either -case or -nx/-ny is required")
+	}
+
+	if *netlistPath != "" {
+		if grid == nil {
+			return fmt.Errorf("-netlist requires a generated grid (-nx/-ny)")
+		}
+		f, err := os.Create(*netlistPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := grid.ToNetlist().Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d nodes, %d resistors\n",
+			*netlistPath, grid.N(), grid.Sys.G.M())
+	}
+	if *matrixPath != "" {
+		f, err := os.Create(*matrixPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sparse.WriteMatrixMarket(f, sys.ToCSC(), true); err != nil {
+			return err
+		}
+		rhsPath := strings.TrimSuffix(*matrixPath, ".mtx") + ".rhs.mtx"
+		rf, err := os.Create(rhsPath)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		coo := sparse.NewCOO(len(b), 1, len(b))
+		for i, v := range b {
+			if v != 0 {
+				coo.Add(i, 0, v)
+			}
+		}
+		if err := sparse.WriteMatrixMarket(rf, coo.ToCSC(), false); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (n=%d, nnz=%d) and %s\n",
+			*matrixPath, sys.N(), sys.NNZ(), rhsPath)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Command pgsolve solves a power-grid or SDDM system with any of the
+// solvers in this repository and reports timings, iteration counts and
+// (for netlists) an IR-drop summary.
+//
+// Inputs:
+//
+//	pgsolve -netlist grid.sp [flags]        IBM-format SPICE netlist
+//	pgsolve -matrix A.mtx [-rhs b.mtx]      Matrix Market SDDM (+ optional rhs)
+//	pgsolve -case thupg1 [-scale f]         built-in benchmark case
+//
+// Flags select the method (-method powerrchol|rchol|lt-rchol|fegrass|
+// fegrass-ichol|amg|powerrush|direct|jacobi), tolerance and seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powerrchol"
+	"powerrchol/internal/cases"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/powergrid"
+	"powerrchol/internal/rng"
+	"powerrchol/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pgsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	netlistPath := flag.String("netlist", "", "IBM-format SPICE netlist to solve")
+	matrixPath := flag.String("matrix", "", "Matrix Market SDDM to solve")
+	rhsPath := flag.String("rhs", "", "Matrix Market dense/coordinate Nx1 right-hand side (with -matrix)")
+	caseName := flag.String("case", "", "built-in benchmark case name (e.g. thupg1)")
+	scale := flag.Float64("scale", 1.0, "scale factor for -case")
+	methodName := flag.String("method", "powerrchol", "solver method")
+	tol := flag.Float64("tol", 1e-6, "relative residual tolerance")
+	maxIter := flag.Int("maxiter", 500, "PCG iteration cap")
+	seed := flag.Uint64("seed", 2024, "randomized factorization seed")
+	outPath := flag.String("out", "", "write node voltages here (IBM .solution format; netlist input only)")
+	refPath := flag.String("ref", "", "compare against a golden .solution file (netlist input only)")
+	flag.Parse()
+
+	method, err := powerrchol.MethodByName(*methodName)
+	if err != nil {
+		return err
+	}
+	opt := powerrchol.Options{Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed}
+
+	var (
+		sys   *graph.SDDM
+		b     []float64
+		names func(int) string
+	)
+	switch {
+	case *netlistPath != "":
+		f, err := os.Open(*netlistPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		nl, err := powergrid.Parse(f)
+		if err != nil {
+			return err
+		}
+		s, err := nl.BuildSystem()
+		if err != nil {
+			return err
+		}
+		sys, b = s.Sys, s.B
+		names = func(i int) string { return nl.NodeName(s.Unknown[i]) }
+		fmt.Printf("netlist: %d nodes (%d pinned), %d resistors, %d loads\n",
+			nl.NumNodes(), len(s.Fixed), len(nl.Resistors), len(nl.Currents))
+	case *matrixPath != "":
+		f, err := os.Open(*matrixPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		a, err := sparse.ReadMatrixMarket(f)
+		if err != nil {
+			return err
+		}
+		sys, err = graph.SplitCSC(a, 1e-12)
+		if err != nil {
+			return err
+		}
+		if *rhsPath != "" {
+			rf, err := os.Open(*rhsPath)
+			if err != nil {
+				return err
+			}
+			defer rf.Close()
+			bm, err := sparse.ReadMatrixMarket(rf)
+			if err != nil {
+				return err
+			}
+			if bm.Rows != sys.N() || bm.Cols != 1 {
+				return fmt.Errorf("rhs is %dx%d, want %dx1", bm.Rows, bm.Cols, sys.N())
+			}
+			b = make([]float64, sys.N())
+			for p := bm.ColPtr[0]; p < bm.ColPtr[1]; p++ {
+				b[bm.RowIdx[p]] = bm.Val[p]
+			}
+		} else {
+			r := rng.New(*seed)
+			b = make([]float64, sys.N())
+			for i := range b {
+				b[i] = 2*r.Float64() - 1
+			}
+			fmt.Println("no -rhs given; using a deterministic random right-hand side")
+		}
+	case *caseName != "":
+		c, err := cases.ByName(*caseName)
+		if err != nil {
+			return err
+		}
+		p, err := c.Build(*scale)
+		if err != nil {
+			return err
+		}
+		sys, b = p.Sys, p.B
+	default:
+		flag.Usage()
+		return fmt.Errorf("one of -netlist, -matrix or -case is required")
+	}
+
+	fmt.Printf("system: n=%d nnz=%d, solving with %v (tol %.0e)\n",
+		sys.N(), sys.NNZ(), method, *tol)
+	res, err := powerrchol.Solve(sys, b, opt)
+	if err != nil && res == nil {
+		return err
+	}
+	fmt.Printf("reorder   %12v\n", res.Timings.Reorder)
+	fmt.Printf("factorize %12v   |L| = %d\n", res.Timings.Factorize, res.FactorNNZ)
+	fmt.Printf("iterate   %12v   %d iterations\n", res.Timings.Iterate, res.Iterations)
+	fmt.Printf("total     %12v   residual %.3e converged=%v\n",
+		res.Timings.Total(), res.Residual, res.Converged)
+	if err != nil {
+		return err
+	}
+
+	if names != nil {
+		// worst IR drop against the highest pinned voltage
+		worst, worstIdx := -1.0, -1
+		var vdd float64
+		for i := range res.X {
+			if res.X[i] > vdd {
+				vdd = res.X[i]
+			}
+		}
+		for i, v := range res.X {
+			if d := vdd - v; d > worst {
+				worst, worstIdx = d, i
+			}
+		}
+		if worstIdx >= 0 {
+			fmt.Printf("worst IR drop: %.6f V at node %s\n", worst, names(worstIdx))
+		}
+		nodeNames := make([]string, len(res.X))
+		for i := range nodeNames {
+			nodeNames[i] = names(i)
+		}
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			if err := powergrid.WriteSolution(f, nodeNames, res.X); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d node voltages to %s\n", len(res.X), *outPath)
+		}
+		if *refPath != "" {
+			rf, err := os.Open(*refPath)
+			if err != nil {
+				return err
+			}
+			ref, err := powergrid.ReadSolution(rf)
+			rf.Close()
+			if err != nil {
+				return err
+			}
+			mine := make(map[string]float64, len(res.X))
+			for i, v := range res.X {
+				mine[nodeNames[i]] = v
+			}
+			maxDiff, err := powergrid.CompareSolutions(mine, ref)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("max deviation from %s: %.3e V\n", *refPath, maxDiff)
+		}
+	} else if *outPath != "" || *refPath != "" {
+		return fmt.Errorf("-out/-ref require -netlist input (named nodes)")
+	}
+	return nil
+}

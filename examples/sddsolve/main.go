@@ -1,0 +1,87 @@
+// General-SDD example: solving a symmetric diagonally dominant system
+// with BOTH off-diagonal signs — beyond M-matrices — via the Gremban
+// double-cover reduction built into the library (the same extension the
+// RChol paper uses). The demo system is a resistor network with ideal
+// voltage-inverting couplers (sign-flipped conductances), a structure
+// that appears in coupled-line and mutual-inductance models.
+//
+//	go run ./examples/sddsolve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"powerrchol"
+	"powerrchol/internal/rng"
+	"powerrchol/internal/sparse"
+)
+
+func main() {
+	const n = 4000
+	r := rng.New(99)
+
+	// Ring of positive couplings plus random sign-flipped couplers, with
+	// diagonal dominance enforced row by row.
+	coo := sparse.NewCOO(n, n, 8*n)
+	offSum := make([]float64, n)
+	add := func(i, j int, v float64) {
+		coo.AddSym(i, j, v)
+		offSum[i] += math.Abs(v)
+		offSum[j] += math.Abs(v)
+	}
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n, -(0.5 + r.Float64())) // regular resistive links
+	}
+	flipped := 0
+	for k := 0; k < 2*n; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		v := 0.2 + 0.8*r.Float64()
+		if r.Float64() < 0.5 {
+			v = -v
+		} else {
+			flipped++
+		}
+		add(i, j, v)
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, offSum[i]+0.05+0.1*r.Float64())
+	}
+	a := coo.ToCSC()
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64() - 0.5
+	}
+
+	fmt.Printf("SDD system: n=%d, nnz=%d, %d positive (inverting) couplings\n",
+		n, a.NNZ(), flipped)
+	res, err := powerrchol.SolveSDD(a, b, powerrchol.Options{
+		Method: powerrchol.MethodPowerRChol, Tol: 1e-10, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved the 2n=%d double cover in %d PCG iterations, %v\n",
+		2*n, res.Iterations, res.Timings.Total())
+
+	// Verify against the original operator.
+	y := make([]float64, n)
+	a.MulVec(y, res.X)
+	var num, den float64
+	for i := range y {
+		d := y[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	rel := math.Sqrt(num / den)
+	fmt.Printf("true residual on the ORIGINAL system: %.2e\n", rel)
+	if rel > 1e-8 {
+		log.Fatal("double-cover recovery failed")
+	}
+	fmt.Println("general-SDD solve verified")
+}

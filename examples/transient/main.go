@@ -1,0 +1,85 @@
+// Transient power-grid analysis example: an RC grid integrated with
+// backward Euler through a load surge. The backward-Euler matrix
+// G + C/h is an SDDM factorized ONCE by PowerRChol and reused for every
+// time step — the amortization that makes randomized-Cholesky
+// preconditioning attractive for transient signoff.
+//
+//	go run ./examples/transient
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"powerrchol"
+	"powerrchol/internal/powergrid"
+)
+
+func main() {
+	grid, err := powergrid.Generate(powergrid.Spec{
+		NX: 120, NY: 120, Layers: 4,
+		PadPitch: 24, LoadFrac: 0.35, Seed: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := powergrid.TransientSpec{
+		Steps:    80,
+		TimeStep: 2e-11,
+		Seed:     3,
+	}
+	sys, _, err := grid.TransientSystem(ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RC grid: %d nodes, %d resistors; h = %.0e s, %d steps (surge at %d)\n",
+		grid.N(), grid.Sys.G.M(), ts.TimeStep, ts.Steps, ts.Steps/2)
+
+	// Factorize G + C/h once; reuse across all steps.
+	t0 := time.Now()
+	solver, err := powerrchol.NewSolver(sys, powerrchol.Options{
+		Method: powerrchol.MethodPowerRChol, Tol: 1e-8, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := time.Since(t0)
+
+	// Warm-start each step from the previous solution: consecutive
+	// voltage profiles differ little, so PCG needs far fewer iterations.
+	var prev []float64
+	t0 = time.Now()
+	res, err := grid.RunTransient(ts, func(b []float64) ([]float64, int, error) {
+		r, err := solver.SolveFrom(b, prev)
+		if err != nil {
+			return nil, 0, err
+		}
+		prev = r.X
+		return r.X, r.Iterations, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stepping := time.Since(t0)
+
+	peak, at := res.PeakDrop()
+	fmt.Printf("setup (reorder+factorize) %v; %d steps in %v (%.2f ms/step, %.1f PCG iters/step)\n",
+		setup.Round(time.Millisecond), ts.Steps, stepping.Round(time.Millisecond),
+		float64(stepping.Milliseconds())/float64(ts.Steps),
+		float64(res.TotalIters)/float64(ts.Steps))
+	fmt.Printf("peak droop %.4f V at t = %.2e s (step %d)\n\n", peak, res.Times[at], at+1)
+
+	// ASCII waveform of the worst bottom-layer droop.
+	fmt.Println("worst IR droop waveform (V):")
+	for i, d := range res.WorstDrop {
+		bar := int(d / peak * 56)
+		marker := ""
+		if i+1 == ts.Steps/2 {
+			marker = "  <- surge (all loads on)"
+		}
+		fmt.Printf("t=%7.2fps %7.4f %s%s\n",
+			res.Times[i]*1e12, d, strings.Repeat("#", bar), marker)
+	}
+}

@@ -1,0 +1,3 @@
+module powerrchol
+
+go 1.22

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"powerrchol"
+	"powerrchol/internal/amg"
+	"powerrchol/internal/cases"
+	"powerrchol/internal/core"
+	"powerrchol/internal/fegrass"
+	"powerrchol/internal/order"
+	"powerrchol/internal/pcg"
+)
+
+// buildPerm returns the AMD ordering of a problem (shared by the variant
+// ablation so every variant factorizes the same reordered matrix).
+func buildPerm(p *cases.Problem) []int {
+	return order.AMD(p.Sys.G)
+}
+
+// runVariant factorizes with an explicit core.Variant (the facade does
+// not expose the hybrid ablation variant) and runs PCG.
+func runVariant(p *cases.Problem, perm []int, v core.Variant, cfg Config) (Metrics, error) {
+	var m Metrics
+	t0 := time.Now()
+	f, err := core.Factorize(p.Sys, perm, core.Options{Variant: v, Seed: cfg.Seed})
+	if err != nil {
+		return m, err
+	}
+	m.Factorize = time.Since(t0)
+	m.FactorNNZ = f.NNZ()
+	t0 = time.Now()
+	res, err := pcg.Solve(p.Sys.ToCSC(), p.B, f, pcg.Options{Tol: cfg.Tol, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return m, err
+	}
+	m.Iterate = time.Since(t0)
+	m.Iters = res.Iterations
+	m.Converged = res.Converged
+	return m, nil
+}
+
+// AblationBuckets sweeps the counting-sort bucket count b of LT-RChol on
+// the thupg1 case (DESIGN.md §6): too few buckets degrade the sampling
+// order (more fill, more iterations); beyond a few hundred nothing
+// improves.
+func AblationBuckets(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: LT-RChol counting-sort buckets (thupg1, Alg.4 order)")
+	fmt.Fprintf(w, "%-8s %9s %8s %4s %8s\n", "buckets", "NNZ(L)", "Tf", "Ni", "Ttot")
+	for _, b := range []int{2, 8, 32, 128, 256, 1024, 4096} {
+		m, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRChol, Buckets: b,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("buckets=%d: %w", b, err)
+		}
+		fmt.Fprintf(w, "%-8d %9s %8s %4d %8s\n",
+			b, fmtN(m.FactorNNZ), fmtT(m.Factorize), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}
+
+// AblationSampling isolates LT-RChol's two ideas — the approximate
+// counting sort and the shared-offset merge locate — by also running the
+// hybrid variant (counting sort + per-neighbor binary search).
+func AblationSampling(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: clique-sampling variants (thupg1, AMD order)")
+	fmt.Fprintf(w, "%-32s %9s %8s %4s %8s\n", "variant", "NNZ(L)", "Tf", "Ni", "Ttot")
+	variants := []struct {
+		name string
+		v    core.Variant
+	}{
+		{"exact sort + binary search", core.VariantRChol},
+		{"counting sort + binary search", core.VariantHybrid},
+		{"counting sort + merge locate", core.VariantLT},
+	}
+	perm := buildPerm(p)
+	for _, vr := range variants {
+		m, err := runVariant(p, perm, vr.v, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", vr.name, err)
+		}
+		fmt.Fprintf(w, "%-32s %9s %8s %4d %8s\n",
+			vr.name, fmtN(m.FactorNNZ), fmtT(m.Factorize), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}
+
+// AblationHeavyRule toggles Alg. 4's heavy-node rule on the power-grid
+// suite, showing what the >10x-average test buys on via-rich grids.
+func AblationHeavyRule(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	ps, err := buildAll(cases.PowerGrid(), cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: Alg. 4 heavy-node rule on vs off")
+	fmt.Fprintf(w, "%-9s | %9s %4s %8s | %9s %4s %8s\n",
+		"Case", "NNZ(on)", "Ni", "Ttot", "NNZ(off)", "Ni", "Ttot")
+	for _, p := range ps {
+		on, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRChol,
+			Tol:    cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/on: %w", p.Name, err)
+		}
+		off, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRChol, HeavyFactor: 1e300,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/off: %w", p.Name, err)
+		}
+		fmt.Fprintf(w, "%-9s | %9s %4d %8s | %9s %4d %8s\n",
+			p.Name,
+			fmtN(on.FactorNNZ), on.Iters, fmtT(on.Total()),
+			fmtN(off.FactorNNZ), off.Iters, fmtT(off.Total()))
+	}
+	return nil
+}
+
+// AblationSamples sweeps the RChol-k sample count: each extra sample per
+// elimination averages down the estimator variance (stronger
+// preconditioner, fewer iterations) at the cost of a denser factor.
+func AblationSamples(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: RChol-k sample count (thupg1, Alg.4 order)")
+	fmt.Fprintf(w, "%-8s %9s %8s %4s %8s\n", "samples", "NNZ(L)", "Tf", "Ni", "Ttot")
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		m, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRChol, Samples: k,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("samples=%d: %w", k, err)
+		}
+		fmt.Fprintf(w, "%-8d %9s %8s %4d %8s\n",
+			k, fmtN(m.FactorNNZ), fmtT(m.Factorize), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}
+
+// AblationOrderings compares all five orderings (including RCM and nested
+// dissection, which the paper does not test) under LT-RChol.
+func AblationOrderings(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: all orderings under LT-RChol (thupg1)")
+	fmt.Fprintf(w, "%-10s %8s %9s %8s %4s %8s\n", "ordering", "Tr", "NNZ(L)", "Ti", "Ni", "Ttot")
+	for _, o := range []powerrchol.Ordering{
+		powerrchol.OrderNatural, powerrchol.OrderRCM, powerrchol.OrderND,
+		powerrchol.OrderAMD, powerrchol.OrderAlg4,
+	} {
+		m, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodLTRChol, Ordering: o,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%v: %w", o, err)
+		}
+		fmt.Fprintf(w, "%-10v %8s %9s %8s %4d %8s\n",
+			o, fmtT(m.Reorder), fmtN(m.FactorNNZ), fmtT(m.Iterate), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}
+
+// AblationDensity runs the clique-sampling variants on a dense power-law
+// case (coPapersDBLP, avg degree ~45 with hubs in the hundreds): here the
+// eliminated-node degrees are large enough that the O(d·log d) → O(d)
+// reduction of LT-RChol shows directly in factorization time, which the
+// low-degree power grids of Table 1 compress to near-parity.
+func AblationDensity(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("coPapersDBLP")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	st, err := core.CollectStats(p.Sys, buildPerm(p), core.Options{Variant: core.VariantLT, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: sampling variants on a dense graph (coPapersDBLP analog)")
+	fmt.Fprintf(w, "elimination degrees: %s\n", st)
+	fmt.Fprintf(w, "%-32s %9s %8s %4s %8s\n", "variant", "NNZ(L)", "Tf", "Ni", "Ttot")
+	perm := buildPerm(p)
+	for _, vr := range []struct {
+		name string
+		v    core.Variant
+	}{
+		{"exact sort + binary search", core.VariantRChol},
+		{"counting sort + merge locate", core.VariantLT},
+	} {
+		m, err := runVariant(p, perm, vr.v, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", vr.name, err)
+		}
+		fmt.Fprintf(w, "%-32s %9s %8s %4d %8s\n",
+			vr.name, fmtN(m.FactorNNZ), fmtT(m.Factorize), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}
+
+// AblationSmoothedAMG compares plain vs smoothed aggregation AMG-PCG on
+// thupg1 and ecology2 (a mesh, where SA's payoff is largest).
+func AblationSmoothedAMG(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	fmt.Fprintln(w, "Ablation: plain vs smoothed aggregation AMG-PCG")
+	fmt.Fprintf(w, "%-12s %-8s %7s %12s %4s %8s\n", "case", "variant", "levels", "opcomplexity", "Ni", "Ttot")
+	for _, name := range []string{"thupg1", "ecology2"} {
+		c, err := cases.ByName(name)
+		if err != nil {
+			return err
+		}
+		p, err := c.Build(cfg.Scale)
+		if err != nil {
+			return err
+		}
+		a := p.Sys.ToCSC()
+		for _, sa := range []bool{false, true} {
+			t0 := time.Now()
+			prec, err := amg.New(a, amg.Options{SmoothedAggregation: sa})
+			if err != nil {
+				return err
+			}
+			setup := time.Since(t0)
+			t0 = time.Now()
+			res, err := pcg.Solve(a, p.B, prec, pcg.Options{Tol: cfg.Tol, MaxIter: cfg.MaxIter})
+			if err != nil {
+				return err
+			}
+			iterT := time.Since(t0)
+			label := "plain"
+			if sa {
+				label = "smoothed"
+			}
+			ni := res.Iterations
+			if !res.Converged {
+				ni = -1
+			}
+			fmt.Fprintf(w, "%-12s %-8s %7d %12.2f %4d %8s\n",
+				name, label, prec.Levels(), prec.OperatorComplexity(), ni, fmtT(setup+iterT))
+		}
+	}
+	return nil
+}
+
+// AblationRecovery sweeps the feGRASS off-tree recovery fraction.
+func AblationRecovery(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: feGRASS off-tree edge recovery fraction (thupg1)")
+	fmt.Fprintf(w, "%-8s %9s %8s %4s %8s\n", "frac", "NNZ(L)", "Tf", "Ni", "Ttot")
+	for _, frac := range []float64{0.01, fegrass.DefaultRecoverFrac, 0.05, 0.10, 0.25} {
+		m, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodFeGRASS, RecoverFrac: frac,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return fmt.Errorf("frac=%g: %w", frac, err)
+		}
+		fmt.Fprintf(w, "%-8.2f %9s %8s %4d %8s\n",
+			frac, fmtN(m.FactorNNZ), fmtT(m.Factorize), m.Iters, fmtT(m.Total()))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"powerrchol"
+	"powerrchol/internal/cases"
+)
+
+// Fig1 reproduces Figure 1: total solution time of PowerRChol vs
+// PowerRush (AMG-PCG + resistor merging) on the 16 power-grid cases.
+func Fig1(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	ps, err := buildAll(cases.PowerGrid(), cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 1: total solution time, PowerRChol vs PowerRush; time in seconds")
+	fmt.Fprintf(w, "%-9s | %10s %10s | %7s\n", "Case", "PowerRush", "PowerRChol", "Speedup")
+	var sps []float64
+	for _, p := range ps {
+		rush, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRush, Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/powerrush: %w", p.Name, err)
+		}
+		ours, err := Run(p, powerrchol.Options{
+			Method: powerrchol.MethodPowerRChol, Tol: cfg.Tol, MaxIter: cfg.MaxIter, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s/powerrchol: %w", p.Name, err)
+		}
+		rushCell, sp := "         -", 0.0
+		if rush.Converged {
+			rushCell = fmt.Sprintf("%10s", fmtT(rush.Total()))
+			sp = secs(rush.Total()) / secs(ours.Total())
+			sps = append(sps, sp)
+		}
+		fmt.Fprintf(w, "%-9s | %s %10s | %7.2f\n", p.Name, rushCell, fmtT(ours.Total()), sp)
+	}
+	fmt.Fprintf(w, "Average speedup over PowerRush: %.2f (paper: 1.76)\n", mean(sps))
+	return nil
+}
+
+// Fig2 reproduces Figure 2: total solution time of each solver on the
+// "thupg1" case as the relative tolerance tightens from 1e-3 to 1e-9.
+func Fig2(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	c, err := cases.ByName("thupg1")
+	if err != nil {
+		return err
+	}
+	p, err := c.Build(cfg.Scale)
+	if err != nil {
+		return err
+	}
+	solvers := []struct {
+		name string
+		opt  powerrchol.Options
+	}{
+		{"PowerRChol", powerrchol.Options{Method: powerrchol.MethodPowerRChol, Seed: cfg.Seed}},
+		{"RChol", powerrchol.Options{Method: powerrchol.MethodRChol, Seed: cfg.Seed}},
+		{"feGRASS", powerrchol.Options{Method: powerrchol.MethodFeGRASS}},
+		{"feG-IChol", powerrchol.Options{Method: powerrchol.MethodFeGRASSIChol}},
+		{"AMG", powerrchol.Options{Method: powerrchol.MethodAMG}},
+	}
+	tols := []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9}
+	fmt.Fprintln(w, "Figure 2: total solution time (s) on thupg1 vs relative tolerance")
+	fmt.Fprintf(w, "%-10s", "tol")
+	for _, s := range solvers {
+		fmt.Fprintf(w, " %10s", s.name)
+	}
+	fmt.Fprintln(w)
+	for _, tol := range tols {
+		fmt.Fprintf(w, "%-10.0e", tol)
+		for _, s := range solvers {
+			opt := s.opt
+			opt.Tol = tol
+			opt.MaxIter = cfg.MaxIter
+			m, err := Run(p, opt)
+			if err != nil {
+				return fmt.Errorf("thupg1/%s@%g: %w", s.name, tol, err)
+			}
+			if m.Converged {
+				fmt.Fprintf(w, " %10s", fmtT(m.Total()))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig3 reproduces Figure 3: total solution time per million nonzeros for
+// every solver across all 28 cases. The paper's headline claim is that
+// PowerRChol stays below 1 s/Mnnz everywhere on its testbed; on other
+// hardware and scaled-down cases the claim becomes "flat across cases",
+// i.e. linear scaling.
+func Fig3(cfg Config) error {
+	cfg.setDefaults()
+	w := cfg.Out
+	all := cases.All()
+	ps, err := buildAll(all, cfg.Scale)
+	if err != nil {
+		return err
+	}
+	solvers := []struct {
+		name string
+		opt  powerrchol.Options
+	}{
+		{"feGRASS", powerrchol.Options{Method: powerrchol.MethodFeGRASS}},
+		{"feG-IChol", powerrchol.Options{Method: powerrchol.MethodFeGRASSIChol}},
+		{"AMG", powerrchol.Options{Method: powerrchol.MethodAMG}},
+		{"RChol", powerrchol.Options{Method: powerrchol.MethodRChol, Seed: cfg.Seed}},
+		{"PowerRChol", powerrchol.Options{Method: powerrchol.MethodPowerRChol, Seed: cfg.Seed}},
+	}
+	fmt.Fprintln(w, "Figure 3: total solution time per million nonzeros (s/Mnnz)")
+	fmt.Fprintf(w, "%-4s %-13s %9s", "#", "Case", "nnz")
+	for _, s := range solvers {
+		fmt.Fprintf(w, " %10s", s.name)
+	}
+	fmt.Fprintln(w)
+	worstOurs := 0.0
+	for i, p := range ps {
+		fmt.Fprintf(w, "%-4d %-13s %9s", all[i].ID, p.Name, fmtN(p.NNZ()))
+		for _, s := range solvers {
+			opt := s.opt
+			opt.Tol = cfg.Tol
+			opt.MaxIter = cfg.MaxIter
+			m, err := Run(p, opt)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", p.Name, s.name, err)
+			}
+			if !m.Converged {
+				fmt.Fprintf(w, " %10s", "-")
+				continue
+			}
+			perM := secs(m.Total()) / (float64(p.NNZ()) / 1e6)
+			fmt.Fprintf(w, " %10.3f", perM)
+			if s.name == "PowerRChol" && perM > worstOurs {
+				worstOurs = perM
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Worst PowerRChol time per Mnnz: %.3f s (paper: < 1 s on all cases)\n", worstOurs)
+	return nil
+}

@@ -1,0 +1,255 @@
+package cases
+
+import (
+	"math"
+
+	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
+)
+
+// Synthetic analogs of the SuiteSparse matrices in the paper's Table 4.
+// Each generator reproduces the *class* of its original — power-law social
+// network, co-authorship clique union, 2-D/3-D mesh, planar proximity
+// graph — which is what differentiates solver behaviour (see DESIGN.md §3).
+
+// barabasiAlbert grows a preferential-attachment graph: each new node
+// attaches m edges to existing nodes with probability proportional to
+// degree. Produces the heavy-tailed degree distribution of the com-*
+// social networks.
+func barabasiAlbert(n, m int, r *rng.Rand) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := graph.New(n, n*m)
+	// target list: node ids repeated once per incident edge (degree-
+	// proportional sampling by uniform choice from this list)
+	targets := make([]int32, 0, 2*n*m)
+	// seed clique of m+1 nodes
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for i := 0; i < seed; i++ {
+		for j := i + 1; j < seed; j++ {
+			g.MustAddEdge(i, j, 0.5+r.Float64())
+			targets = append(targets, int32(i), int32(j))
+		}
+	}
+	attached := make([]int, 0, m)
+	for v := seed; v < n; v++ {
+		attached = attached[:0]
+	sample:
+		for len(attached) < m {
+			u := int(targets[r.Intn(len(targets))])
+			if u == v {
+				continue
+			}
+			for _, a := range attached {
+				if a == u {
+					continue sample
+				}
+			}
+			attached = append(attached, u)
+		}
+		for _, u := range attached {
+			g.MustAddEdge(u, v, 0.5+r.Float64())
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	return g.Coalesce()
+}
+
+// cliqueUnion models co-paper graphs: overlapping author cliques produce
+// very high average degree (coPapersDBLP has nnz/|V| ≈ 57).
+func cliqueUnion(n, groups, groupSize int, r *rng.Rand) *graph.Graph {
+	g := graph.New(n, groups*groupSize*groupSize/2)
+	members := make([]int, 0, 2*groupSize)
+	for k := 0; k < groups; k++ {
+		sz := 2 + r.Intn(2*groupSize-2)
+		// localized membership (authors cluster) plus a few outsiders
+		base := r.Intn(n)
+		members = members[:0]
+		for j := 0; j < sz; j++ {
+			var v int
+			if r.Float64() < 0.8 {
+				v = (base + r.Intn(groupSize*4)) % n
+			} else {
+				v = r.Intn(n)
+			}
+			members = append(members, v)
+		}
+		w := 0.5 + r.Float64()
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[i] != members[j] {
+					g.MustAddEdge(members[i], members[j], w)
+				}
+			}
+		}
+	}
+	connect(g, r)
+	return g.Coalesce()
+}
+
+// grid2dW returns an nx×ny 5-point grid with mildly random weights.
+func grid2dW(nx, ny int, r *rng.Rand) *graph.Graph {
+	g := graph.New(nx*ny, 2*nx*ny)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				g.MustAddEdge(id(x, y), id(x+1, y), 0.5+r.Float64())
+			}
+			if y+1 < ny {
+				g.MustAddEdge(id(x, y), id(x, y+1), 0.5+r.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// triangulated adds one diagonal per cell to a 2-D grid, modeling FEM
+// triangulations (thermal2, NACA0015).
+func triangulated(nx, ny int, r *rng.Rand) *graph.Graph {
+	g := grid2dW(nx, ny, r)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y+1 < ny; y++ {
+		for x := 0; x+1 < nx; x++ {
+			if r.Float64() < 0.5 {
+				g.MustAddEdge(id(x, y), id(x+1, y+1), 0.3+r.Float64())
+			} else {
+				g.MustAddEdge(id(x+1, y), id(x, y+1), 0.3+r.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// grid3d returns an n×n×nz 7-point grid (fe_tooth, fe_ocean analogs).
+func grid3d(nx, ny, nz int, r *rng.Rand) *graph.Graph {
+	g := graph.New(nx*ny*nz, 3*nx*ny*nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					g.MustAddEdge(id(x, y, z), id(x+1, y, z), 0.5+r.Float64())
+				}
+				if y+1 < ny {
+					g.MustAddEdge(id(x, y, z), id(x, y+1, z), 0.5+r.Float64())
+				}
+				if z+1 < nz {
+					g.MustAddEdge(id(x, y, z), id(x, y, z+1), 0.5+r.Float64())
+				}
+			}
+		}
+	}
+	return g
+}
+
+// gridLongRange is a grid with a sprinkling of random long-range edges
+// (G3_circuit analog: a circuit mesh with global nets).
+func gridLongRange(nx, ny int, extraFrac float64, r *rng.Rand) *graph.Graph {
+	g := grid2dW(nx, ny, r)
+	n := nx * ny
+	extra := int(extraFrac * float64(n))
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v, 0.2+r.Float64())
+		}
+	}
+	return g
+}
+
+// planarProximity models census-tract adjacency graphs (mo2010, oh2010):
+// a jittered grid where each node connects to nearby nodes.
+func planarProximity(nx, ny int, r *rng.Rand) *graph.Graph {
+	g := grid2dW(nx, ny, r)
+	id := func(x, y int) int { return y*nx + x }
+	// irregular extra adjacencies to 2-hop neighbors
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+2 < nx && r.Float64() < 0.3 {
+				g.MustAddEdge(id(x, y), id(x+2, y), 0.2+0.5*r.Float64())
+			}
+			if y+1 < ny && x+1 < nx && r.Float64() < 0.4 {
+				g.MustAddEdge(id(x, y), id(x+1, y+1), 0.2+0.5*r.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// connect stitches graph components together with random edges so every
+// generator yields a single component.
+func connect(g *graph.Graph, r *rng.Rand) {
+	n := g.N
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			comp[rv] = ru
+		}
+	}
+	root := find(0)
+	for v := 1; v < n; v++ {
+		if rv := find(v); rv != root {
+			g.MustAddEdge(v, r.Intn(v), 0.5+r.Float64())
+			comp[rv] = root
+		}
+	}
+}
+
+// withSlack wraps a graph as a nonsingular SDDM: a fraction of nodes is
+// grounded with slack proportional to its weighted degree, mimicking how
+// the Table 4 SDDMs carry their diagonal surplus.
+func withSlack(g *graph.Graph, frac, strength float64, r *rng.Rand) *graph.SDDM {
+	wd := g.WeightedDegrees()
+	d := make([]float64, g.N)
+	grounded := false
+	for i := range d {
+		if r.Float64() < frac {
+			d[i] = strength * wd[i]
+			grounded = true
+		}
+	}
+	if !grounded && g.N > 0 {
+		d[0] = strength * (wd[0] + 1)
+	}
+	s, err := graph.NewSDDM(g, d)
+	if err != nil {
+		panic(err) // generators produce valid weights by construction
+	}
+	return s
+}
+
+// randomRHS builds a deterministic right-hand side with entries in
+// [-1, 1), scaled so ‖b‖∞ = 1.
+func randomRHS(n int, r *rng.Rand) []float64 {
+	b := make([]float64, n)
+	var m float64
+	for i := range b {
+		b[i] = 2*r.Float64() - 1
+		if a := math.Abs(b[i]); a > m {
+			m = a
+		}
+	}
+	if m > 0 {
+		for i := range b {
+			b[i] /= m
+		}
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"powerrchol/internal/sparse"
+)
+
+// Factor is the lower-triangular output L of a (randomized) Cholesky
+// factorization of the reordered matrix P·A·Pᵀ ≈ L·Lᵀ, together with the
+// permutation that produced it. Columns store the diagonal entry first;
+// the remaining row indices are unsorted, which the triangular solves in
+// package sparse permit.
+type Factor struct {
+	N    int
+	L    *sparse.CSC
+	Perm []int // Perm[newIdx] = oldIdx; nil means identity
+
+	work []float64
+}
+
+// NNZ returns the number of stored entries of L (the paper's |L|).
+func (f *Factor) NNZ() int { return f.L.NNZ() }
+
+// Apply computes z = Pᵀ·L⁻ᵀ·L⁻¹·P·r, the preconditioning operation of
+// PowerRChol step 4. z and r must have length N and may alias.
+func (f *Factor) Apply(z, r []float64) {
+	if f.work == nil {
+		f.work = make([]float64, f.N)
+	}
+	w := f.work
+	if f.Perm == nil {
+		copy(w, r)
+	} else {
+		sparse.PermuteVecInto(w, r, f.Perm)
+	}
+	sparse.LowerSolve(f.L, w)
+	sparse.LowerTransposeSolve(f.L, w)
+	if f.Perm == nil {
+		copy(z, w)
+	} else {
+		sparse.UnpermuteVecInto(z, w, f.Perm)
+	}
+}
+
+// ProductCSC assembles L·Lᵀ (in the permuted ordering) as a CSC matrix.
+// Quadratic-ish in fill; intended for tests on small matrices.
+func (f *Factor) ProductCSC() *sparse.CSC {
+	l := f.L
+	coo := sparse.NewCOO(f.N, f.N, 4*l.NNZ())
+	for k := 0; k < f.N; k++ {
+		for p := l.ColPtr[k]; p < l.ColPtr[k+1]; p++ {
+			for q := l.ColPtr[k]; q < l.ColPtr[k+1]; q++ {
+				coo.Add(l.RowIdx[p], l.RowIdx[q], l.Val[p]*l.Val[q])
+			}
+		}
+	}
+	return coo.ToCSC()
+}

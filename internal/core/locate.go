@@ -1,0 +1,35 @@
+package core
+
+// LocateAscending implements Alg. 2 of the paper: given two ascending
+// arrays a (length n) and t (length m), it returns for every t[j] the
+// smallest index i with a[i] >= t[j]. Because both arrays are ascending a
+// single merge-like scan suffices, so the cost is O(n+m) instead of the
+// O(m·log n) of m binary searches. If some t[j] exceeds every a[i], the
+// reported location is n (one past the end), which callers clamp.
+func LocateAscending(a, t []float64, out []int) {
+	c := 0
+	n := len(a)
+	for j, tj := range t {
+		for c < n && a[c] < tj {
+			c++
+		}
+		out[j] = c
+	}
+	_ = out[:len(t)]
+}
+
+// locateBinary is the reference per-element binary search used by the
+// original RChol sampling (and by tests as an oracle for LocateAscending):
+// smallest index i in [lo, len(a)) with a[i] >= t.
+func locateBinary(a []float64, lo int, t float64) int {
+	hi := len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

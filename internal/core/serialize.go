@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"powerrchol/internal/sparse"
+)
+
+// Binary factor serialization: factorize once, reuse across processes.
+// Little-endian, versioned:
+//
+//	magic "PRCHOLF1" | n uint64 | nnz uint64 | hasPerm uint8 |
+//	colPtr [n+1]uint64 | rowIdx [nnz]uint64 | val [nnz]float64 |
+//	perm [n]uint64 (if hasPerm)
+
+const factorMagic = "PRCHOLF1"
+
+// WriteTo serializes the factor. It implements io.WriterTo.
+func (f *Factor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(factorMagic); err != nil {
+		return written, err
+	}
+	written += int64(len(factorMagic))
+	nnz := f.L.NNZ()
+	if err := put(uint64(f.N)); err != nil {
+		return written, err
+	}
+	if err := put(uint64(nnz)); err != nil {
+		return written, err
+	}
+	hasPerm := uint8(0)
+	if f.Perm != nil {
+		hasPerm = 1
+	}
+	if err := put(hasPerm); err != nil {
+		return written, err
+	}
+	buf := make([]uint64, 0, f.N+1)
+	for _, v := range f.L.ColPtr {
+		buf = append(buf, uint64(v))
+	}
+	if err := put(buf); err != nil {
+		return written, err
+	}
+	buf = buf[:0]
+	for _, v := range f.L.RowIdx {
+		buf = append(buf, uint64(v))
+	}
+	if err := put(buf); err != nil {
+		return written, err
+	}
+	if err := put(f.L.Val); err != nil {
+		return written, err
+	}
+	if f.Perm != nil {
+		buf = buf[:0]
+		for _, v := range f.Perm {
+			buf = append(buf, uint64(v))
+		}
+		if err := put(buf); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFactor deserializes a factor written by WriteTo, validating the
+// header and structural invariants (monotone column pointers, in-range
+// indices, finite values, valid permutation).
+func ReadFactor(r io.Reader) (*Factor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(factorMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading factor header: %w", err)
+	}
+	if string(magic) != factorMagic {
+		return nil, fmt.Errorf("core: bad factor magic %q", magic)
+	}
+	var n64, nnz64 uint64
+	var hasPerm uint8
+	if err := binary.Read(br, binary.LittleEndian, &n64); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nnz64); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hasPerm); err != nil {
+		return nil, err
+	}
+	const limit = 1 << 40 // refuse absurd sizes before allocating
+	if n64 > limit || nnz64 > limit {
+		return nil, fmt.Errorf("core: implausible factor dimensions n=%d nnz=%d", n64, nnz64)
+	}
+	n, nnz := int(n64), int(nnz64)
+
+	readU64s := func(k int) ([]uint64, error) {
+		out := make([]uint64, k)
+		if err := binary.Read(br, binary.LittleEndian, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	cp, err := readU64s(n + 1)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := readU64s(nnz)
+	if err != nil {
+		return nil, err
+	}
+	val := make([]float64, nnz)
+	if err := binary.Read(br, binary.LittleEndian, val); err != nil {
+		return nil, err
+	}
+
+	colPtr := make([]int, n+1)
+	prev := uint64(0)
+	for i, v := range cp {
+		if v < prev || v > nnz64 {
+			return nil, fmt.Errorf("core: corrupt column pointer %d at %d", v, i)
+		}
+		colPtr[i] = int(v)
+		prev = v
+	}
+	if colPtr[n] != nnz {
+		return nil, fmt.Errorf("core: column pointers end at %d, want %d", colPtr[n], nnz)
+	}
+	rowIdx := make([]int, nnz)
+	for i, v := range ri {
+		if v >= n64 {
+			return nil, fmt.Errorf("core: row index %d out of range", v)
+		}
+		rowIdx[i] = int(v)
+	}
+	for _, v := range val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite factor value")
+		}
+	}
+	// diag-first layout check
+	for k := 0; k < n; k++ {
+		if colPtr[k] >= colPtr[k+1] || rowIdx[colPtr[k]] != k {
+			return nil, fmt.Errorf("core: column %d does not start with its diagonal", k)
+		}
+	}
+
+	f := &Factor{
+		N: n,
+		L: &sparse.CSC{Rows: n, Cols: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val},
+	}
+	if hasPerm == 1 {
+		pm, err := readU64s(n)
+		if err != nil {
+			return nil, err
+		}
+		perm := make([]int, n)
+		for i, v := range pm {
+			perm[i] = int(v)
+		}
+		if err := sparse.CheckPerm(perm, n); err != nil {
+			return nil, fmt.Errorf("core: corrupt permutation: %w", err)
+		}
+		f.Perm = perm
+	}
+	return f, nil
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"powerrchol/internal/sparse"
+)
+
+// ReduceSDD converts a general symmetric diagonally dominant matrix with
+// positive diagonal — positive off-diagonals allowed — into an SDDM of
+// twice the size via the Gremban double cover, the reduction the RChol
+// paper [3] uses to extend randomized Cholesky beyond M-matrices:
+//
+//	negative a_ij  → edges (i, j) and (i', j') of weight |a_ij|
+//	positive a_ij  → edges (i, j') and (i', j) of weight a_ij
+//	slack          → d_i = a_ii − Σ_{j≠i} |a_ij| on both i and i'
+//
+// where i' = i+n indexes the mirrored copy. Solving the doubled system
+// with right-hand side [b; −b] yields x = (x⁺ − x⁻)/2 (see SolveSDD in
+// the facade or RecoverSDD here).
+func ReduceSDD(a *sparse.CSC, tol float64) (*SDDM, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("graph: matrix is %dx%d, not square", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	g := New(2*n, a.NNZ())
+	d := make([]float64, 2*n)
+	diag := make([]float64, n)
+	offSum := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			v := a.Val[p]
+			if i == j {
+				diag[j] = v
+				continue
+			}
+			offSum[j] += math.Abs(v)
+			if i <= j {
+				continue // undirected edges recorded once from the lower triangle
+			}
+			switch {
+			case v < 0:
+				g.MustAddEdge(i, j, -v)
+				g.MustAddEdge(i+n, j+n, -v)
+			case v > 0:
+				g.MustAddEdge(i, j+n, v)
+				g.MustAddEdge(i+n, j, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if diag[i] <= 0 {
+			return nil, fmt.Errorf("graph: non-positive diagonal %g at row %d", diag[i], i)
+		}
+		s := diag[i] - offSum[i]
+		if s < -tol*diag[i] {
+			return nil, fmt.Errorf("graph: row %d violates diagonal dominance by %g", i, -s)
+		}
+		if s < 0 {
+			s = 0
+		}
+		d[i] = s
+		d[i+n] = s
+	}
+	return &SDDM{G: g, D: d}, nil
+}
+
+// DoubleRHS builds the doubled right-hand side [b; -b] for a system
+// produced by ReduceSDD.
+func DoubleRHS(b []float64) []float64 {
+	n := len(b)
+	bb := make([]float64, 2*n)
+	copy(bb, b)
+	for i, v := range b {
+		bb[n+i] = -v
+	}
+	return bb
+}
+
+// RecoverSDD maps the doubled solution back: x_i = (x⁺_i − x⁻_i)/2.
+func RecoverSDD(xx []float64) []float64 {
+	n := len(xx) / 2
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 0.5 * (xx[i] - xx[n+i])
+	}
+	return x
+}

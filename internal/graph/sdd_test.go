@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerrchol/internal/rng"
+	"powerrchol/internal/sparse"
+)
+
+// randomSDD builds a symmetric diagonally dominant matrix with MIXED-sign
+// off-diagonals and strictly positive slack.
+func randomSDD(r *rng.Rand, n int) *sparse.CSC {
+	coo := sparse.NewCOO(n, n, 6*n)
+	offSum := make([]float64, n)
+	for k := 0; k < 3*n; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		v := r.Float64()*2 - 1 // both signs
+		coo.AddSym(i, j, v)
+		offSum[i] += math.Abs(v)
+		offSum[j] += math.Abs(v)
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, offSum[i]+0.1+r.Float64())
+	}
+	return coo.ToCSC()
+}
+
+func TestReduceSDDStructure(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		r := rng.New(seed)
+		a := randomSDD(r, n)
+		sys, err := ReduceSDD(a, 1e-12)
+		if err != nil {
+			return false
+		}
+		if sys.N() != 2*n {
+			return false
+		}
+		// mirrored slack
+		for i := 0; i < n; i++ {
+			if sys.D[i] != sys.D[i+n] {
+				return false
+			}
+		}
+		// the doubled matrix must itself be a valid SDDM (SplitCSC accepts it)
+		if _, err := SplitCSC(sys.ToCSC(), 1e-9); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The double cover must be algebraically faithful: applying the doubled
+// operator to [x; -x] reproduces [A·x; -A·x].
+func TestReduceSDDOperatorIdentity(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(25)
+		a := randomSDD(r, n)
+		sys, err := ReduceSDD(a, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		xx := DoubleRHS(x) // [x; -x]
+		yy := make([]float64, 2*n)
+		sys.MulVec(yy, xx)
+		want := make([]float64, n)
+		a.MulVec(want, x)
+		for i := 0; i < n; i++ {
+			if math.Abs(yy[i]-want[i]) > 1e-9 ||
+				math.Abs(yy[n+i]+want[i]) > 1e-9 {
+				t.Fatalf("double-cover operator mismatch at %d: (%g, %g) vs %g",
+					i, yy[i], yy[n+i], want[i])
+			}
+		}
+	}
+}
+
+func TestRecoverSDDInvertsDoubleRHS(t *testing.T) {
+	b := []float64{1, -2, 3}
+	x := RecoverSDD(DoubleRHS(b))
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("RecoverSDD(DoubleRHS(b)) = %v", x)
+		}
+	}
+}
+
+func TestReduceSDDRejectsBadInput(t *testing.T) {
+	// non-square
+	if _, err := ReduceSDD(sparse.NewCSC(2, 3, 0), 0); err == nil {
+		t.Error("non-square accepted")
+	}
+	// dominance violation
+	c := sparse.NewCOO(2, 2, 4)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	c.AddSym(0, 1, 2) // |off| 2 > diag 1
+	if _, err := ReduceSDD(c.ToCSC(), 1e-12); err == nil {
+		t.Error("dominance violation accepted")
+	}
+	// non-positive diagonal
+	c2 := sparse.NewCOO(1, 1, 1)
+	c2.Add(0, 0, -1)
+	if _, err := ReduceSDD(c2.ToCSC(), 1e-12); err == nil {
+		t.Error("negative diagonal accepted")
+	}
+}

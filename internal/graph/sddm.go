@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"powerrchol/internal/sparse"
+)
+
+// SDDM is a symmetric diagonally dominant M-matrix in the split form
+// A = L_G + diag(D) of Eq. (2) of the paper: the off-diagonals live in the
+// Laplacian of G and D ≥ 0 carries the diagonal surplus.
+type SDDM struct {
+	G *Graph
+	D []float64
+}
+
+// N returns the matrix dimension.
+func (s *SDDM) N() int { return s.G.N }
+
+// NNZ returns the number of nonzeros of the assembled matrix A
+// (both triangles plus the diagonal).
+func (s *SDDM) NNZ() int { return 2*s.G.M() + s.N() }
+
+// NewSDDM wraps a graph and a diagonal surplus; D may be nil for a pure
+// (singular) Laplacian, in which case a zero vector is allocated.
+func NewSDDM(g *Graph, d []float64) (*SDDM, error) {
+	if d == nil {
+		d = make([]float64, g.N)
+	}
+	if len(d) != g.N {
+		return nil, fmt.Errorf("graph: D has length %d, want %d", len(d), g.N)
+	}
+	for i, v := range d {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("graph: D[%d] = %g is not a valid surplus", i, v)
+		}
+	}
+	return &SDDM{G: g, D: d}, nil
+}
+
+// ToCSC assembles A = L_G + diag(D) with both triangles stored.
+func (s *SDDM) ToCSC() *sparse.CSC {
+	g := s.G
+	coo := sparse.NewCOO(g.N, g.N, 4*g.M()+g.N)
+	diag := g.WeightedDegrees()
+	for i, d := range diag {
+		coo.Add(i, i, d+s.D[i])
+	}
+	for _, e := range g.Edges {
+		coo.Add(e.U, e.V, -e.W)
+		coo.Add(e.V, e.U, -e.W)
+	}
+	return coo.ToCSC()
+}
+
+// SplitCSC decomposes a CSC matrix into SDDM form. It validates that A is
+// square, symmetric in pattern, has non-positive off-diagonals, and that
+// every diagonal surplus d_i = a_ii - Σ_j |a_ij| is ≥ -tol·a_ii (small
+// negative surpluses from floating-point assembly are clamped to zero).
+// Off-diagonal entries with |a_ij| ≤ dropTol are ignored.
+func SplitCSC(a *sparse.CSC, tol float64) (*SDDM, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("graph: matrix is %dx%d, not square", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	g := New(n, a.NNZ()/2)
+	d := make([]float64, n)
+	offSum := make([]float64, n)
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			v := a.Val[p]
+			switch {
+			case i == j:
+				diag[j] = v
+			case v > 0:
+				return nil, fmt.Errorf("graph: positive off-diagonal %g at (%d,%d): not an M-matrix", v, i, j)
+			case v < 0:
+				offSum[j] += -v
+				if i > j { // record each undirected edge once
+					if err := g.AddEdge(i, j, -v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if diag[i] <= 0 {
+			return nil, fmt.Errorf("graph: non-positive diagonal %g at row %d", diag[i], i)
+		}
+		s := diag[i] - offSum[i]
+		if s < -tol*diag[i] {
+			return nil, fmt.Errorf("graph: row %d violates diagonal dominance by %g", i, -s)
+		}
+		if s < 0 {
+			s = 0
+		}
+		d[i] = s
+	}
+	return &SDDM{G: g, D: d}, nil
+}
+
+// Permute returns the SDDM of the reordered matrix P·A·Pᵀ where
+// perm[newIdx] = oldIdx.
+func (s *SDDM) Permute(perm []int) *SDDM {
+	inv := sparse.InvPerm(perm)
+	g := New(s.G.N, s.G.M())
+	for _, e := range s.G.Edges {
+		g.MustAddEdge(inv[e.U], inv[e.V], e.W)
+	}
+	d := make([]float64, len(s.D))
+	for newIdx, oldIdx := range perm {
+		d[newIdx] = s.D[oldIdx]
+	}
+	return &SDDM{G: g, D: d}
+}
+
+// MulVec computes y = A·x without assembling A: one pass over the edges
+// plus the diagonal.
+func (s *SDDM) MulVec(y, x []float64) {
+	wd := s.G.WeightedDegrees()
+	for i := range y {
+		y[i] = (wd[i] + s.D[i]) * x[i]
+	}
+	for _, e := range s.G.Edges {
+		y[e.U] -= e.W * x[e.V]
+		y[e.V] -= e.W * x[e.U]
+	}
+}

@@ -1,0 +1,101 @@
+package pcg
+
+import (
+	"math"
+	"testing"
+
+	"powerrchol/internal/sparse"
+	"powerrchol/internal/testmat"
+)
+
+func TestConditionEstimateDiagonal(t *testing.T) {
+	// For a diagonal matrix the condition number is exactly max/min.
+	n := 50
+	c := sparse.NewCOO(n, n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, float64(i+1)) // eigenvalues 1..50
+	}
+	a := c.ToCSC()
+	kappa, err := ConditionEstimate(a, nil, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kappa-50)/50 > 0.05 {
+		t.Fatalf("κ estimate %g, want ~50", kappa)
+	}
+}
+
+func TestConditionEstimateJacobiImproves(t *testing.T) {
+	// Jacobi normalizes a badly scaled diagonal-dominant matrix; the
+	// preconditioned κ must drop dramatically.
+	n := 80
+	c := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, float64(i%5))
+		c.Add(i, i, 2*scale)
+		if i+1 < n {
+			c.Add(i, i+1, -0.5*math.Min(scale, math.Pow(10, float64((i+1)%5))))
+			c.Add(i+1, i, -0.5*math.Min(scale, math.Pow(10, float64((i+1)%5))))
+		}
+	}
+	a := c.ToCSC()
+	plain, err := ConditionEstimate(a, nil, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJacobi(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := ConditionEstimate(a, j, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec > plain/10 {
+		t.Fatalf("Jacobi κ %g not much below plain κ %g", prec, plain)
+	}
+}
+
+func TestConditionEstimateGrid(t *testing.T) {
+	// κ of a 2-D grid Laplacian grows like n²; just check it is sane and
+	// larger than a well-conditioned matrix's.
+	s := testmat.GridSDDM(20, 20)
+	kappa, err := ConditionEstimate(s.ToCSC(), nil, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa < 10 || kappa > 1e7 {
+		t.Fatalf("grid κ estimate %g out of plausible range", kappa)
+	}
+}
+
+func TestTridiagExtremes(t *testing.T) {
+	// 2x2 [[2,1],[1,2]] has eigenvalues 1 and 3.
+	lo, hi := tridiagExtremes([]float64{2, 2}, []float64{1})
+	if math.Abs(lo-1) > 1e-9 || math.Abs(hi-3) > 1e-9 {
+		t.Fatalf("eigenvalues (%g, %g), want (1, 3)", lo, hi)
+	}
+	// 1x1
+	lo, hi = tridiagExtremes([]float64{5}, nil)
+	if lo != 5 || hi != 5 {
+		t.Fatalf("1x1 eigenvalues (%g, %g)", lo, hi)
+	}
+	// Toeplitz tridiag(-1, 2, -1) of size 5: λ_k = 2-2cos(kπ/6)
+	d := []float64{2, 2, 2, 2, 2}
+	e := []float64{-1, -1, -1, -1}
+	lo, hi = tridiagExtremes(d, e)
+	wantLo := 2 - 2*math.Cos(math.Pi/6)
+	wantHi := 2 - 2*math.Cos(5*math.Pi/6)
+	if math.Abs(lo-wantLo) > 1e-9 || math.Abs(hi-wantHi) > 1e-9 {
+		t.Fatalf("eigenvalues (%g, %g), want (%g, %g)", lo, hi, wantLo, wantHi)
+	}
+}
+
+func TestConditionEstimateRejectsIndefinite(t *testing.T) {
+	c := sparse.NewCOO(2, 2, 2)
+	c.Add(0, 0, -1)
+	c.Add(1, 1, -1)
+	if _, err := ConditionEstimate(c.ToCSC(), nil, 10, 1); err == nil {
+		t.Fatal("negative definite matrix accepted")
+	}
+}

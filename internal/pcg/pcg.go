@@ -1,0 +1,163 @@
+// Package pcg implements the preconditioned conjugate gradient method,
+// the outer iteration of every solver in the paper's evaluation.
+package pcg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"powerrchol/internal/sparse"
+)
+
+// Preconditioner applies z = M⁻¹·r. Implementations must be symmetric
+// positive definite for CG theory to hold.
+type Preconditioner interface {
+	Apply(z, r []float64)
+}
+
+// Identity is the no-op preconditioner (plain CG).
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// Jacobi is diagonal scaling z_i = r_i / d_i.
+type Jacobi struct{ InvDiag []float64 }
+
+// NewJacobi builds a Jacobi preconditioner from the diagonal of a.
+func NewJacobi(a *sparse.CSC) (*Jacobi, error) {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("pcg: non-positive diagonal %g at %d", v, i)
+		}
+		inv[i] = 1 / v
+	}
+	return &Jacobi{InvDiag: inv}, nil
+}
+
+// Apply scales the residual by the inverse diagonal.
+func (j *Jacobi) Apply(z, r []float64) {
+	for i, v := range r {
+		z[i] = v * j.InvDiag[i]
+	}
+}
+
+// Options control the iteration.
+type Options struct {
+	Tol     float64 // relative residual ‖b-Ax‖₂/‖b‖₂ target; default 1e-6
+	MaxIter int     // default 500, the paper's divergence cutoff
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+	History    []float64 // relative residual after each iteration
+}
+
+// ErrIndefinite is returned when pᵀAp or rᵀz becomes non-positive,
+// indicating a non-SPD operator or preconditioner.
+var ErrIndefinite = errors.New("pcg: operator or preconditioner is not positive definite")
+
+// Solve runs PCG on A·x = b from a zero initial guess. A must be
+// symmetric positive definite, stored with both triangles.
+func Solve(a *sparse.CSC, b []float64, m Preconditioner, opt Options) (*Result, error) {
+	mul := func(y, x []float64) { a.MulVec(y, x) }
+	return SolveOp(a.Rows, mul, b, m, opt)
+}
+
+// SolveFrom is Solve starting from the initial guess x0 (which is not
+// modified). Warm starts pay off when consecutive right-hand sides are
+// close, e.g. across transient time steps.
+func SolveFrom(a *sparse.CSC, b, x0 []float64, m Preconditioner, opt Options) (*Result, error) {
+	mul := func(y, x []float64) { a.MulVec(y, x) }
+	return solveOp(a.Rows, mul, b, x0, m, opt)
+}
+
+// SolveOp is Solve for an implicit operator y = A·x.
+func SolveOp(n int, mul func(y, x []float64), b []float64, m Preconditioner, opt Options) (*Result, error) {
+	return solveOp(n, mul, b, nil, m, opt)
+}
+
+func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner, opt Options) (*Result, error) {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 500
+	}
+	if m == nil {
+		m = Identity{}
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("pcg: rhs has length %d, want %d", len(b), n)
+	}
+	if x0 != nil && len(x0) != n {
+		return nil, fmt.Errorf("pcg: initial guess has length %d, want %d", len(x0), n)
+	}
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		return &Result{X: x, Converged: true}, nil
+	}
+	if x0 != nil {
+		copy(x, x0)
+		mul(ap, x) // r = b - A·x0
+		sparse.Axpy(r, -1, ap)
+		if rel := sparse.Norm2(r) / bnorm; rel < opt.Tol {
+			return &Result{X: x, Converged: true, Residual: rel}, nil
+		}
+	}
+
+	res := &Result{}
+	m.Apply(z, r)
+	copy(p, z)
+	rz := sparse.Dot(r, z)
+	if rz <= 0 || math.IsNaN(rz) {
+		return nil, fmt.Errorf("%w: r'z = %g at start", ErrIndefinite, rz)
+	}
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		mul(ap, p)
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return nil, fmt.Errorf("%w: p'Ap = %g at iteration %d", ErrIndefinite, pap, iter)
+		}
+		alpha := rz / pap
+		sparse.Axpy(x, alpha, p)
+		sparse.Axpy(r, -alpha, ap)
+
+		rel := sparse.Norm2(r) / bnorm
+		res.History = append(res.History, rel)
+		res.Iterations = iter
+		res.Residual = rel
+		if rel < opt.Tol {
+			res.Converged = true
+			break
+		}
+
+		m.Apply(z, r)
+		rzNew := sparse.Dot(r, z)
+		if rzNew <= 0 || math.IsNaN(rzNew) {
+			return nil, fmt.Errorf("%w: r'z = %g at iteration %d", ErrIndefinite, rzNew, iter)
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.X = x
+	return res, nil
+}

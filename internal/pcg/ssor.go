@@ -1,0 +1,78 @@
+package pcg
+
+import (
+	"fmt"
+
+	"powerrchol/internal/sparse"
+)
+
+// SSOR is the symmetric successive over-relaxation preconditioner
+//
+//	M = (D/ω + L) · (D/ω)⁻¹ · (D/ω + Lᵀ) · ω/(2−ω)
+//
+// for A = L + D + Lᵀ. A classic matrix-free power-grid baseline: no
+// setup cost at all (beyond a copy of A), but condition-number reduction
+// far weaker than a Cholesky-based preconditioner — a useful extra point
+// between Jacobi and the factorization methods.
+type SSOR struct {
+	a     *sparse.CSC
+	omega float64
+	diag  []float64
+	work  []float64
+}
+
+// NewSSOR builds the preconditioner; omega must lie in (0, 2), with 0
+// meaning 1.2 (a robust default for mesh-like SDDMs).
+func NewSSOR(a *sparse.CSC, omega float64) (*SSOR, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("pcg: SSOR needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if omega == 0 {
+		omega = 1.2
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("pcg: SSOR omega %g outside (0,2)", omega)
+	}
+	d := a.Diag()
+	for i, v := range d {
+		if v <= 0 {
+			return nil, fmt.Errorf("pcg: non-positive diagonal %g at %d", v, i)
+		}
+	}
+	return &SSOR{a: a, omega: omega, diag: d, work: make([]float64, a.Rows)}, nil
+}
+
+// Apply computes z = M⁻¹·r via one forward and one backward sweep. By
+// symmetry of A, row i of the strict lower triangle is read from column i
+// (entries with index > i), so no transpose copy is needed.
+func (s *SSOR) Apply(z, r []float64) {
+	a, w, om := s.a, s.work, s.omega
+	n := a.Rows
+	// forward: (D/ω + L)·w = r, traversing columns ascending and
+	// scattering column i's below-diagonal entries after w[i] is final.
+	copy(w, r)
+	for i := 0; i < n; i++ {
+		w[i] *= om / s.diag[i]
+		wi := w[i]
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			if j := a.RowIdx[p]; j > i {
+				w[j] -= a.Val[p] * wi
+			}
+		}
+	}
+	// scale by D/ω · (2-ω)/ω  =>  overall (2−ω)/ω · D
+	for i := 0; i < n; i++ {
+		w[i] *= (2 - om) / om * s.diag[i]
+	}
+	// backward: (D/ω + Lᵀ)·z = w, gathering column i's below-diagonal
+	// entries (= row i of Lᵀ) from already-final z[j], j > i.
+	for i := n - 1; i >= 0; i-- {
+		sum := w[i]
+		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
+			if j := a.RowIdx[p]; j > i {
+				sum -= a.Val[p] * z[j]
+			}
+		}
+		z[i] = sum * om / s.diag[i]
+	}
+}

@@ -1,0 +1,132 @@
+package pcg
+
+import (
+	"math"
+	"testing"
+
+	"powerrchol/internal/rng"
+	"powerrchol/internal/sparse"
+	"powerrchol/internal/testmat"
+)
+
+func TestSSORSolves(t *testing.T) {
+	r := rng.New(2)
+	s := testmat.GridSDDM(24, 24)
+	a := s.ToCSC()
+	m, err := NewSSOR(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, s.N())
+	for i := range b {
+		b[i] = r.Float64() - 0.5
+	}
+	res, err := Solve(a, b, m, Options{Tol: 1e-10, MaxIter: 5000})
+	if err != nil || !res.Converged {
+		t.Fatalf("SSOR-PCG failed: %v", err)
+	}
+	plain, err := Solve(a, b, nil, Options{Tol: 1e-10, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= plain.Iterations {
+		t.Fatalf("SSOR (%d) no better than plain CG (%d)", res.Iterations, plain.Iterations)
+	}
+	t.Logf("24x24 grid: plain %d iters, SSOR %d iters", plain.Iterations, res.Iterations)
+}
+
+// SSOR must be a symmetric positive definite operator or CG theory breaks.
+func TestSSORIsSymmetricPositiveDefinite(t *testing.T) {
+	r := rng.New(4)
+	s := testmat.RandomSDDM(r, 50, 100)
+	a := s.ToCSC()
+	for _, omega := range []float64{0.5, 1.0, 1.2, 1.8} {
+		m, err := NewSSOR(a, omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, 50)
+		y := make([]float64, 50)
+		zx := make([]float64, 50)
+		zy := make([]float64, 50)
+		for i := range x {
+			x[i] = r.Float64() - 0.5
+			y[i] = r.Float64() - 0.5
+		}
+		m.Apply(zx, x)
+		m.Apply(zy, y)
+		if sparse.Dot(x, zx) <= 0 {
+			t.Fatalf("omega=%g: not positive definite", omega)
+		}
+		lhs := sparse.Dot(y, zx)
+		rhs := sparse.Dot(x, zy)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("omega=%g: not symmetric: %g vs %g", omega, lhs, rhs)
+		}
+	}
+}
+
+// For omega=1 SSOR is symmetric Gauss-Seidel: M = (D+L) D⁻¹ (D+Lᵀ).
+// Verify M⁻¹ against an explicit dense construction.
+func TestSSOROmegaOneMatchesDenseSGS(t *testing.T) {
+	r := rng.New(9)
+	s := testmat.RandomSDDM(r, 12, 20)
+	a := s.ToCSC()
+	n := 12
+	m, err := NewSSOR(a, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := a.Dense()
+	// build M = (D+L) D^-1 (D+L)^T densely
+	dl := make([][]float64, n) // D + L
+	for i := range dl {
+		dl[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			dl[i][j] = dense[i][j]
+		}
+	}
+	mm := make([][]float64, n)
+	for i := range mm {
+		mm[i] = make([]float64, n)
+		for j := range mm[i] {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += dl[i][k] / dense[k][k] * dl[j][k]
+			}
+			mm[i][j] = sum
+		}
+	}
+	rr := make([]float64, n)
+	for i := range rr {
+		rr[i] = r.Float64() - 0.5
+	}
+	z := make([]float64, n)
+	m.Apply(z, rr)
+	want, err := testmat.DenseSolveSPD(mm, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(z[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("z[%d] = %g, want %g", i, z[i], want[i])
+		}
+	}
+}
+
+func TestNewSSORValidates(t *testing.T) {
+	s := testmat.GridSDDM(3, 3)
+	a := s.ToCSC()
+	if _, err := NewSSOR(a, 2.5); err == nil {
+		t.Error("omega out of range accepted")
+	}
+	if _, err := NewSSOR(sparse.NewCSC(2, 3, 0), 1); err == nil {
+		t.Error("non-square accepted")
+	}
+	c := sparse.NewCOO(2, 2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, -1)
+	if _, err := NewSSOR(c.ToCSC(), 1); err == nil {
+		t.Error("non-positive diagonal accepted")
+	}
+}

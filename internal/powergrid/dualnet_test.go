@@ -1,0 +1,72 @@
+package powergrid
+
+import (
+	"math"
+	"testing"
+
+	"powerrchol/internal/pcg"
+)
+
+func TestGenerateDualSolvesBothNets(t *testing.T) {
+	spec := smallSpec(40)
+	nl, err := GenerateDual(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := nl.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two independent nets: graph must be disconnected (two components)
+	if sys.Sys.G.Connected() {
+		t.Fatal("dual-net system is connected; nets are shorted together")
+	}
+	res, err := pcg.Solve(sys.Sys.ToCSC(), sys.B, nil, pcg.Options{Tol: 1e-11, MaxIter: 20000})
+	if err != nil || !res.Converged {
+		t.Fatalf("dual-net solve failed: %v", err)
+	}
+	// VDD nodes must sag below 1.8; GND nodes must bounce above 0.
+	var vddMin, gndMax = math.Inf(1), math.Inf(-1)
+	for i, u := range sys.Unknown {
+		net, err := NetOf(nl.NodeName(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := res.X[i]
+		switch net {
+		case "vdd":
+			if v > 1.8+1e-9 {
+				t.Fatalf("vdd node above supply: %g", v)
+			}
+			if v < vddMin {
+				vddMin = v
+			}
+		case "gnd":
+			if v < -1e-9 {
+				t.Fatalf("gnd node below ground: %g", v)
+			}
+			if v > gndMax {
+				gndMax = v
+			}
+		}
+	}
+	if vddMin >= 1.8 {
+		t.Fatal("no IR drop on the vdd net")
+	}
+	if gndMax <= 0 {
+		t.Fatal("no ground bounce on the gnd net")
+	}
+	t.Logf("worst vdd sag %.4f V, worst ground bounce %.4f V", 1.8-vddMin, gndMax)
+}
+
+func TestNetOf(t *testing.T) {
+	if n, err := NetOf("vdd_n0_1_2"); err != nil || n != "vdd" {
+		t.Fatal(n, err)
+	}
+	if n, err := NetOf("gnd__net"); err != nil || n != "gnd" {
+		t.Fatal(n, err)
+	}
+	if _, err := NetOf("n0_1_2"); err == nil {
+		t.Fatal("unknown prefix accepted")
+	}
+}

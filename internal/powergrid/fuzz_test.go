@@ -1,0 +1,61 @@
+package powergrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the netlist parser with arbitrary input: it must
+// never panic, and anything it accepts must survive a write/parse round
+// trip with identical element counts.
+func FuzzParse(f *testing.F) {
+	f.Add("R1 a b 1.0\nI1 a 0 0.001\nV1 b 0 1.8\n.op\n.end\n")
+	f.Add("* comment only\n")
+	f.Add("C1 x 0 1e-12\nR2 x y 3\n")
+	f.Add("R1 a b -1\n")
+	f.Add("X unknown element 5\n")
+	f.Add("R1 a\n")
+	f.Add("")
+	f.Add("r1 0 0 1\niX 0 n 2\nv2 0 q 3\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := nl.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted netlist: %v", err)
+		}
+		nl2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nwritten: %q", err, src, buf.String())
+		}
+		if len(nl2.Resistors) != len(nl.Resistors) ||
+			len(nl2.Currents) != len(nl.Currents) ||
+			len(nl2.VSources) != len(nl.VSources) ||
+			len(nl2.Capacitors) != len(nl.Capacitors) {
+			t.Fatalf("element counts changed in round trip for %q", src)
+		}
+	})
+}
+
+// FuzzReadSolution: the solution parser must never panic and must reject
+// duplicates consistently.
+func FuzzReadSolution(f *testing.F) {
+	f.Add("n1 1.5\nn2 1.6\n")
+	f.Add("* comment\nn1 1.5\n")
+	f.Add("n1 xx\n")
+	f.Add("n1 1 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sol, err := ReadSolution(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for name := range sol {
+			if strings.ContainsAny(name, " \t\n") {
+				t.Fatalf("accepted a node name with whitespace: %q", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,372 @@
+// Package powergrid models on-chip power delivery networks: a synthetic
+// multi-layer grid generator shaped like the IBM/THU power-grid
+// benchmarks, an IBM-SPICE-subset netlist reader/writer, MNA system
+// assembly, and IR-drop reporting. The generator stands in for the
+// benchmark downloads the paper uses (see DESIGN.md §3): the solvers only
+// ever see the SDDM and right-hand side.
+package powergrid
+
+import (
+	"fmt"
+	"math"
+
+	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
+)
+
+// Spec describes a synthetic power grid in the style of the IBM PG
+// benchmarks: alternating horizontal/vertical metal layers with
+// geometrically increasing stripe pitch, via resistors between layers,
+// C4 pads on the top layer, and current-source loads on the bottom layer.
+type Spec struct {
+	Name   string
+	NX, NY int // bottom-layer lattice dimensions
+	Layers int // number of metal layers (>= 1)
+
+	// WireRes is the per-segment wire resistance per layer (Ω). If nil, a
+	// default profile is used where upper (thicker) layers have lower
+	// resistance: 1.0 / 2^l.
+	WireRes []float64
+	// ViaRes is the via resistance between adjacent layers (Ω). These are
+	// the "small resistors" PowerRush merges; default 0.01.
+	ViaRes float64
+	// PadRes is the package resistance at each C4 pad (Ω); default 0.05.
+	PadRes float64
+	// PadPitch places a pad every PadPitch-th node along top-layer
+	// stripes; default 8.
+	PadPitch int
+	// Vdd is the supply voltage; default 1.8.
+	Vdd float64
+	// LoadFrac is the fraction of bottom-layer nodes drawing current;
+	// default 0.3.
+	LoadFrac float64
+	// LoadMax is the maximum per-node load current (A); default 1e-3.
+	LoadMax float64
+	// MissingFrac randomly removes this fraction of wire segments
+	// (connectivity is repaired afterwards); default 0.05.
+	MissingFrac float64
+	// ShortFrac is the fraction of wire segments that are "shorts":
+	// very-low-resistance segments from irregular layout, the small
+	// resistors that PowerRush merges and the Alg. 4 heavy rule targets.
+	// Default 0.02; set negative for none.
+	ShortFrac float64
+	// ShortFactor divides a short segment's resistance; default 500.
+	ShortFactor float64
+	Seed        uint64
+}
+
+func (s *Spec) setDefaults() error {
+	if s.NX < 2 || s.NY < 2 {
+		return fmt.Errorf("powergrid: lattice %dx%d too small", s.NX, s.NY)
+	}
+	if s.Layers < 1 {
+		s.Layers = 1
+	}
+	if s.WireRes == nil {
+		s.WireRes = make([]float64, s.Layers)
+		for l := range s.WireRes {
+			s.WireRes[l] = 1.0 / float64(int(1)<<l)
+		}
+	}
+	if len(s.WireRes) != s.Layers {
+		return fmt.Errorf("powergrid: WireRes has %d entries for %d layers", len(s.WireRes), s.Layers)
+	}
+	if s.ViaRes == 0 {
+		s.ViaRes = 0.01
+	}
+	if s.PadRes == 0 {
+		s.PadRes = 0.05
+	}
+	if s.PadPitch == 0 {
+		s.PadPitch = 8
+	}
+	if s.Vdd == 0 {
+		s.Vdd = 1.8
+	}
+	if s.LoadFrac == 0 {
+		s.LoadFrac = 0.3
+	}
+	if s.LoadMax == 0 {
+		s.LoadMax = 1e-3
+	}
+	if s.ShortFrac == 0 {
+		s.ShortFrac = 0.02
+	}
+	if s.ShortFactor == 0 {
+		s.ShortFactor = 500
+	}
+	return nil
+}
+
+// Grid is a generated power grid with its assembled MNA system
+// G·v = b, where v are node voltages.
+type Grid struct {
+	Spec Spec
+	Sys  *graph.SDDM
+	B    []float64
+
+	// node metadata, indexed by system node id
+	Layer []int8
+	X, Y  []int32
+
+	PadNodes  []int
+	LoadAmps  []float64 // per-node load current (0 for non-load nodes)
+	nameCache []string
+}
+
+// N returns the number of unknown nodes.
+func (g *Grid) N() int { return g.Sys.N() }
+
+// NodeName renders the IBM-style node name n{layer}_{x}_{y}.
+func (g *Grid) NodeName(i int) string {
+	if g.nameCache == nil {
+		g.nameCache = make([]string, g.N())
+	}
+	if g.nameCache[i] == "" {
+		g.nameCache[i] = fmt.Sprintf("n%d_%d_%d", g.Layer[i], g.X[i], g.Y[i])
+	}
+	return g.nameCache[i]
+}
+
+// stripePitch returns the stripe spacing of layer l: 1, 2, 4, 8, … —
+// upper layers route fewer, thicker stripes, as in the IBM benchmarks.
+func stripePitch(l int) int {
+	return 1 << l
+}
+
+// Generate builds the grid described by spec.
+func Generate(spec Spec) (*Grid, error) {
+	if err := spec.setDefaults(); err != nil {
+		return nil, err
+	}
+	r := rng.New(spec.Seed ^ 0x9e3779b97f4a7c15)
+
+	// Enumerate nodes. Layer l is horizontal when l is even (stripes are
+	// rows y ≡ 0 mod pitch), vertical when odd (columns x ≡ 0 mod pitch).
+	type key struct{ l, x, y int32 }
+	id := make(map[key]int)
+	var layerOf []int8
+	var xs, ys []int32
+	addNode := func(l, x, y int) int {
+		k := key{int32(l), int32(x), int32(y)}
+		if n, ok := id[k]; ok {
+			return n
+		}
+		n := len(layerOf)
+		id[k] = n
+		layerOf = append(layerOf, int8(l))
+		xs = append(xs, int32(x))
+		ys = append(ys, int32(y))
+		return n
+	}
+	horizontal := func(l int) bool { return l%2 == 0 }
+	// A single-layer grid routes both directions (a plain mesh); with two
+	// or more layers, each layer routes one direction, as in real chips.
+	bothDirs := spec.Layers == 1
+	for l := 0; l < spec.Layers; l++ {
+		p := stripePitch(l)
+		if horizontal(l) || bothDirs {
+			for y := 0; y < spec.NY; y += p {
+				for x := 0; x < spec.NX; x++ {
+					addNode(l, x, y)
+				}
+			}
+		} else {
+			for x := 0; x < spec.NX; x += p {
+				for y := 0; y < spec.NY; y++ {
+					addNode(l, x, y)
+				}
+			}
+		}
+	}
+	n := len(layerOf)
+	g := graph.New(n, 4*n)
+
+	// Wire segments along stripes, with random dropout. Dropped edges are
+	// remembered so connectivity can be repaired.
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var dropped []edge
+	addWire := func(u, v int, res float64) {
+		if spec.ShortFrac > 0 && r.Float64() < spec.ShortFrac {
+			res /= spec.ShortFactor
+		}
+		if spec.MissingFrac > 0 && r.Float64() < spec.MissingFrac {
+			dropped = append(dropped, edge{u, v, 1 / res})
+			return
+		}
+		g.MustAddEdge(u, v, 1/res)
+	}
+	for l := 0; l < spec.Layers; l++ {
+		p := stripePitch(l)
+		res := spec.WireRes[l]
+		if horizontal(l) || bothDirs {
+			for y := 0; y < spec.NY; y += p {
+				for x := 0; x+1 < spec.NX; x++ {
+					addWire(id[key{int32(l), int32(x), int32(y)}],
+						id[key{int32(l), int32(x + 1), int32(y)}], res)
+				}
+			}
+		}
+		if !horizontal(l) || bothDirs {
+			for x := 0; x < spec.NX; x += p {
+				for y := 0; y+1 < spec.NY; y++ {
+					addWire(id[key{int32(l), int32(x), int32(y)}],
+						id[key{int32(l), int32(x), int32(y + 1)}], res)
+				}
+			}
+		}
+	}
+	// Vias wherever a node exists on two adjacent layers.
+	viaW := 1 / spec.ViaRes
+	for k, u := range id {
+		if int(k.l)+1 < spec.Layers {
+			if v, ok := id[key{k.l + 1, k.x, k.y}]; ok {
+				g.MustAddEdge(u, v, viaW)
+			}
+		}
+	}
+
+	// Repair connectivity using the dropped wires (dropout may sever
+	// stripe ends).
+	uf := newUnionFind(n)
+	for _, e := range g.Edges {
+		uf.union(e.U, e.V)
+	}
+	for _, e := range dropped {
+		if uf.union(e.u, e.v) {
+			g.MustAddEdge(e.u, e.v, e.w)
+		}
+	}
+
+	// C4 pads on the top layer: Norton equivalent of Vdd through PadRes.
+	top := spec.Layers - 1
+	d := make([]float64, n)
+	b := make([]float64, n)
+	padW := 1 / spec.PadRes
+	var pads []int
+	for k, u := range id {
+		if int(k.l) != top {
+			continue
+		}
+		if int(k.x)%spec.PadPitch == 0 && int(k.y)%spec.PadPitch == 0 {
+			d[u] += padW
+			b[u] += padW * spec.Vdd
+			pads = append(pads, u)
+		}
+	}
+	if len(pads) == 0 {
+		// tiny grids: ground one top-layer corner
+		u := id[key{int32(top), 0, 0}]
+		d[u] += padW
+		b[u] += padW * spec.Vdd
+		pads = append(pads, u)
+	}
+
+	// Current loads on bottom-layer nodes.
+	loads := make([]float64, n)
+	for k, u := range id {
+		if k.l != 0 {
+			continue
+		}
+		if r.Float64() < spec.LoadFrac {
+			amps := r.Float64() * spec.LoadMax
+			loads[u] = amps
+			b[u] -= amps
+		}
+	}
+
+	sys, err := graph.NewSDDM(g, d)
+	if err != nil {
+		return nil, fmt.Errorf("powergrid: assembling system: %w", err)
+	}
+	return &Grid{
+		Spec: spec, Sys: sys, B: b,
+		Layer: layerOf, X: xs, Y: ys,
+		PadNodes: pads, LoadAmps: loads,
+	}, nil
+}
+
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}
+
+// IRDropReport summarizes a DC solution of the grid.
+type IRDropReport struct {
+	WorstDrop  float64
+	WorstNode  int
+	AvgDrop    float64
+	TotalLoad  float64 // A
+	PadCurrent float64 // A, must balance TotalLoad
+}
+
+// IRDrop analyzes a voltage solution v of Sys·v = B.
+func (g *Grid) IRDrop(v []float64) IRDropReport {
+	rep := IRDropReport{WorstNode: -1}
+	var sum float64
+	count := 0
+	for i := range v {
+		if g.Layer[i] != 0 {
+			continue // report drops at the loads' layer
+		}
+		drop := g.Spec.Vdd - v[i]
+		sum += drop
+		count++
+		if drop > rep.WorstDrop {
+			rep.WorstDrop = drop
+			rep.WorstNode = i
+		}
+	}
+	if count > 0 {
+		rep.AvgDrop = sum / float64(count)
+	}
+	for _, a := range g.LoadAmps {
+		rep.TotalLoad += a
+	}
+	padW := 1 / g.Spec.PadRes
+	for _, p := range g.PadNodes {
+		rep.PadCurrent += (g.Spec.Vdd - v[p]) * padW
+	}
+	return rep
+}
+
+// Residual returns ‖Sys·v - B‖₂ / ‖B‖₂ for a candidate solution.
+func (g *Grid) Residual(v []float64) float64 {
+	y := make([]float64, g.N())
+	g.Sys.MulVec(y, v)
+	var num, den float64
+	for i := range y {
+		diff := y[i] - g.B[i]
+		num += diff * diff
+		den += g.B[i] * g.B[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

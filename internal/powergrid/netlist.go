@@ -1,0 +1,269 @@
+package powergrid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"powerrchol/internal/graph"
+)
+
+// Netlist is the IBM power-grid-benchmark SPICE subset: resistors,
+// DC current loads and ideal voltage sources, all referenced to the
+// ground node "0".
+type Netlist struct {
+	names []string
+	index map[string]int
+
+	Resistors  []Resistor
+	Currents   []CurrentSource
+	VSources   []VoltageSource
+	Capacitors []Capacitor
+}
+
+// Capacitor connects a node to ground (or two nodes); it is ignored in DC
+// analysis and consumed by transient analysis.
+type Capacitor struct {
+	A, B   int // node indices; -1 is ground
+	Farads float64
+}
+
+// Resistor connects two nodes (ground allowed on either side).
+type Resistor struct {
+	A, B int // node indices; -1 is ground
+	Ohms float64
+}
+
+// CurrentSource draws Amps from Node to ground (a load).
+type CurrentSource struct {
+	Node int
+	Amps float64
+}
+
+// VoltageSource pins Node to Volts against ground (an ideal supply).
+type VoltageSource struct {
+	Node  int
+	Volts float64
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist {
+	return &Netlist{index: make(map[string]int)}
+}
+
+// Node interns a node name and returns its index; "0" and "gnd" return -1.
+func (nl *Netlist) Node(name string) int {
+	if name == "0" || strings.EqualFold(name, "gnd") {
+		return -1
+	}
+	if i, ok := nl.index[name]; ok {
+		return i
+	}
+	i := len(nl.names)
+	nl.names = append(nl.names, name)
+	nl.index[name] = i
+	return i
+}
+
+// NodeName returns the interned name of node i.
+func (nl *Netlist) NodeName(i int) string { return nl.names[i] }
+
+// NumNodes returns the number of named (non-ground) nodes.
+func (nl *Netlist) NumNodes() int { return len(nl.names) }
+
+// Parse reads the IBM power-grid SPICE subset: lines starting with R/r
+// (resistor), I/i (current load), V/v (voltage source); comment lines
+// (*), .op and .end cards are ignored.
+func Parse(r io.Reader) (*Netlist, error) {
+	nl := NewNetlist()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, ".") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			return nil, fmt.Errorf("powergrid: line %d: expected 4 fields, got %q", lineNo, line)
+		}
+		val, err := parseSpiceNumber(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("powergrid: line %d: bad value %q: %v", lineNo, f[3], err)
+		}
+		switch line[0] {
+		case 'R', 'r':
+			if val <= 0 {
+				return nil, fmt.Errorf("powergrid: line %d: non-positive resistance %g", lineNo, val)
+			}
+			nl.Resistors = append(nl.Resistors, Resistor{A: nl.Node(f[1]), B: nl.Node(f[2]), Ohms: val})
+		case 'I', 'i':
+			n := nl.Node(f[1])
+			if n == -1 {
+				n = nl.Node(f[2])
+				val = -val
+			}
+			nl.Currents = append(nl.Currents, CurrentSource{Node: n, Amps: val})
+		case 'V', 'v':
+			n := nl.Node(f[1])
+			if n == -1 {
+				n = nl.Node(f[2])
+				val = -val
+			}
+			nl.VSources = append(nl.VSources, VoltageSource{Node: n, Volts: val})
+		case 'C', 'c':
+			if val < 0 {
+				return nil, fmt.Errorf("powergrid: line %d: negative capacitance %g", lineNo, val)
+			}
+			nl.Capacitors = append(nl.Capacitors, Capacitor{A: nl.Node(f[1]), B: nl.Node(f[2]), Farads: val})
+		default:
+			return nil, fmt.Errorf("powergrid: line %d: unsupported element %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func parseSpiceNumber(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// Write emits the netlist in the IBM benchmark format.
+func (nl *Netlist) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	name := func(i int) string {
+		if i == -1 {
+			return "0"
+		}
+		return nl.names[i]
+	}
+	if _, err := fmt.Fprintf(bw, "* synthetic power grid netlist (%d nodes)\n", len(nl.names)); err != nil {
+		return err
+	}
+	for i, r := range nl.Resistors {
+		fmt.Fprintf(bw, "R%d %s %s %.10g\n", i, name(r.A), name(r.B), r.Ohms)
+	}
+	for i, c := range nl.Currents {
+		fmt.Fprintf(bw, "I%d %s 0 %.10g\n", i, name(c.Node), c.Amps)
+	}
+	for i, c := range nl.Capacitors {
+		fmt.Fprintf(bw, "C%d %s %s %.10g\n", i, name(c.A), name(c.B), c.Farads)
+	}
+	for i, v := range nl.VSources {
+		fmt.Fprintf(bw, "V%d %s 0 %.10g\n", i, name(v.Node), v.Volts)
+	}
+	fmt.Fprintln(bw, ".op")
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// System is an assembled MNA system for the unknown (non-source) nodes.
+type System struct {
+	Sys *graph.SDDM
+	B   []float64
+	// Unknown[i] is the netlist node index of system unknown i.
+	Unknown []int
+	// Fixed[nodeIdx] holds voltages of source-pinned nodes.
+	Fixed map[int]float64
+}
+
+// BuildSystem assembles G·v = b by nodal analysis: ideal voltage-source
+// nodes are eliminated (Dirichlet reduction: their resistive couplings
+// move to the right-hand side), resistors to ground and sources
+// contribute to the diagonal slack, and current loads fill b.
+func (nl *Netlist) BuildSystem() (*System, error) {
+	fixed := make(map[int]float64)
+	for _, v := range nl.VSources {
+		if prev, ok := fixed[v.Node]; ok && prev != v.Volts {
+			return nil, fmt.Errorf("powergrid: node %s pinned to both %g and %g",
+				nl.names[v.Node], prev, v.Volts)
+		}
+		fixed[v.Node] = v.Volts
+	}
+	// map netlist node -> unknown index
+	unk := make([]int, nl.NumNodes())
+	var unknown []int
+	for i := range unk {
+		if _, pinned := fixed[i]; pinned {
+			unk[i] = -1
+		} else {
+			unk[i] = len(unknown)
+			unknown = append(unknown, i)
+		}
+	}
+	n := len(unknown)
+	g := graph.New(n, len(nl.Resistors))
+	d := make([]float64, n)
+	b := make([]float64, n)
+	for _, r := range nl.Resistors {
+		w := 1 / r.Ohms
+		a, c := r.A, r.B
+		switch {
+		case a == -1 && c == -1:
+			continue // both grounded: no effect
+		case a == -1, c == -1:
+			node := a
+			if node == -1 {
+				node = c
+			}
+			if u := unk[node]; u >= 0 {
+				d[u] += w // resistor to ground
+			}
+		default:
+			ua, uc := unk[a], unk[c]
+			switch {
+			case ua >= 0 && uc >= 0:
+				if ua != uc {
+					g.MustAddEdge(ua, uc, w)
+				}
+			case ua >= 0: // c pinned
+				d[ua] += w
+				b[ua] += w * fixed[c]
+			case uc >= 0: // a pinned
+				d[uc] += w
+				b[uc] += w * fixed[a]
+			}
+		}
+	}
+	for _, cs := range nl.Currents {
+		if u := unk[cs.Node]; u >= 0 {
+			b[u] -= cs.Amps
+		}
+	}
+	sys, err := graph.NewSDDM(g.Coalesce(), d)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Sys: sys, B: b, Unknown: unknown, Fixed: fixed}, nil
+}
+
+// ToNetlist renders a generated Grid as a netlist: wire and via segments
+// become resistors, loads become current sources, and each pad becomes a
+// pad resistor to a shared supply node pinned by one voltage source.
+func (g *Grid) ToNetlist() *Netlist {
+	nl := NewNetlist()
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = nl.Node(g.NodeName(i))
+	}
+	for _, e := range g.Sys.G.Edges {
+		nl.Resistors = append(nl.Resistors, Resistor{A: ids[e.U], B: ids[e.V], Ohms: 1 / e.W})
+	}
+	vddNode := nl.Node("_vdd")
+	for _, p := range g.PadNodes {
+		nl.Resistors = append(nl.Resistors, Resistor{A: ids[p], B: vddNode, Ohms: g.Spec.PadRes})
+	}
+	nl.VSources = append(nl.VSources, VoltageSource{Node: vddNode, Volts: g.Spec.Vdd})
+	for i, amps := range g.LoadAmps {
+		if amps != 0 {
+			nl.Currents = append(nl.Currents, CurrentSource{Node: ids[i], Amps: amps})
+		}
+	}
+	return nl
+}

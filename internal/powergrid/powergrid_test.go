@@ -1,0 +1,241 @@
+package powergrid
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powerrchol/internal/pcg"
+)
+
+func smallSpec(seed uint64) Spec {
+	return Spec{Name: "test", NX: 16, NY: 16, Layers: 3, Seed: seed}
+}
+
+func TestGenerateProducesConnectedSDDM(t *testing.T) {
+	f := func(seed uint64, nxRaw, nyRaw, lRaw uint8) bool {
+		spec := Spec{
+			NX:     int(nxRaw%20) + 4,
+			NY:     int(nyRaw%20) + 4,
+			Layers: int(lRaw%4) + 1,
+			Seed:   seed,
+		}
+		g, err := Generate(spec)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !g.Sys.G.Connected() {
+			t.Logf("disconnected grid for %+v", spec)
+			return false
+		}
+		// some slack must exist (the pads)
+		var slack float64
+		for _, d := range g.Sys.D {
+			slack += d
+		}
+		return slack > 0 && len(g.PadNodes) > 0 && len(g.B) == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolvedGridIsPhysical(t *testing.T) {
+	g, err := Generate(smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pcg.Solve(g.Sys.ToCSC(), g.B, nil, pcg.Options{Tol: 1e-12, MaxIter: 5000})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v", err)
+	}
+	v := res.X
+	// all voltages within (0, Vdd]
+	for i, vi := range v {
+		if vi <= 0 || vi > g.Spec.Vdd+1e-9 {
+			t.Fatalf("voltage %g at node %d outside (0, Vdd]", vi, i)
+		}
+	}
+	rep := g.IRDrop(v)
+	if rep.WorstDrop < 0 || rep.WorstDrop > g.Spec.Vdd {
+		t.Fatalf("worst drop %g unphysical", rep.WorstDrop)
+	}
+	if rep.AvgDrop > rep.WorstDrop {
+		t.Fatalf("avg drop %g exceeds worst %g", rep.AvgDrop, rep.WorstDrop)
+	}
+	// Kirchhoff: current delivered by pads equals total load current.
+	if math.Abs(rep.PadCurrent-rep.TotalLoad) > 1e-6*(1+rep.TotalLoad) {
+		t.Fatalf("current balance violated: pads %g vs loads %g",
+			rep.PadCurrent, rep.TotalLoad)
+	}
+	if g.Residual(v) > 1e-9 {
+		t.Fatalf("Residual reports %g for a converged solve", g.Residual(v))
+	}
+}
+
+func TestZeroLoadMeansNoDrop(t *testing.T) {
+	spec := smallSpec(2)
+	spec.LoadFrac = -1 // negative => no node passes the load coin flip
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pcg.Solve(g.Sys.ToCSC(), g.B, nil, pcg.Options{Tol: 1e-13, MaxIter: 5000})
+	if err != nil || !res.Converged {
+		t.Fatalf("solve failed: %v", err)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-g.Spec.Vdd) > 1e-6 {
+			t.Fatalf("no-load grid should sit at Vdd; node %d at %g", i, v)
+		}
+	}
+}
+
+func TestNetlistRoundTrip(t *testing.T) {
+	g, err := Generate(smallSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := g.ToNetlist()
+	var buf bytes.Buffer
+	if err := nl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl2.Resistors) != len(nl.Resistors) ||
+		len(nl2.Currents) != len(nl.Currents) ||
+		len(nl2.VSources) != len(nl.VSources) {
+		t.Fatalf("element counts changed in round trip")
+	}
+	// Solving the parsed netlist must reproduce the direct solve.
+	sys, err := nl2.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := pcg.Solve(g.Sys.ToCSC(), g.B, nil, pcg.Options{Tol: 1e-12, MaxIter: 5000})
+	if err != nil || !direct.Converged {
+		t.Fatal("direct solve failed")
+	}
+	parsed, err := pcg.Solve(sys.Sys.ToCSC(), sys.B, nil, pcg.Options{Tol: 1e-12, MaxIter: 5000})
+	if err != nil || !parsed.Converged {
+		t.Fatal("netlist solve failed")
+	}
+	// match by node name
+	byName := map[string]float64{}
+	for i, u := range sys.Unknown {
+		byName[nl2.NodeName(u)] = parsed.X[i]
+	}
+	for i := 0; i < g.N(); i++ {
+		want := direct.X[i]
+		got, ok := byName[g.NodeName(i)]
+		if !ok {
+			t.Fatalf("node %s missing from netlist solution", g.NodeName(i))
+		}
+		// The netlist routes pads through an explicit _vdd node instead of
+		// a Norton fold, which is the same circuit; voltages must agree.
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("node %s: netlist %g vs direct %g", g.NodeName(i), got, want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"R1 a b\n",           // missing value
+		"R1 a b -5\n",        // negative resistance
+		"X1 a b 1.0\n",       // unknown element
+		"R1 a b not_a_num\n", // bad number
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseHandlesCommentsAndCards(t *testing.T) {
+	src := `* comment
+R1 a b 2.0
+I1 a 0 0.001
+V1 b 0 1.8
+.op
+.end
+`
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Resistors) != 1 || len(nl.Currents) != 1 || len(nl.VSources) != 1 {
+		t.Fatalf("parsed %d/%d/%d elements",
+			len(nl.Resistors), len(nl.Currents), len(nl.VSources))
+	}
+	sys, err := nl.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// single unknown "a": (v_a - 1.8)/2 + 0.001 = 0 => v_a = 1.798
+	if sys.Sys.N() != 1 {
+		t.Fatalf("%d unknowns, want 1", sys.Sys.N())
+	}
+	res, err := pcg.Solve(sys.Sys.ToCSC(), sys.B, nil, pcg.Options{Tol: 1e-14, MaxIter: 10})
+	if err != nil || !res.Converged {
+		t.Fatal("1-node solve failed")
+	}
+	if math.Abs(res.X[0]-1.798) > 1e-9 {
+		t.Fatalf("v_a = %.12g, want 1.798", res.X[0])
+	}
+}
+
+func TestBuildSystemConflictingSources(t *testing.T) {
+	src := "V1 a 0 1.0\nV2 a 0 2.0\nR1 a b 1\n"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.BuildSystem(); err == nil {
+		t.Fatal("conflicting sources accepted")
+	}
+}
+
+func TestGridStatisticsLookLikePG(t *testing.T) {
+	// power grids are low-degree meshes with a few very heavy (via)
+	// edges; the Alg. 4 heavy-node rule depends on this shape.
+	g, err := Generate(Spec{NX: 32, NY: 32, Layers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := g.Sys.G.Degrees()
+	maxDeg := 0
+	for _, d := range degs {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 8 {
+		t.Errorf("max degree %d; expected a low-degree mesh", maxDeg)
+	}
+	avg := g.Sys.G.AvgWeight()
+	heavy := 0
+	for _, e := range g.Sys.G.Edges {
+		if e.W > 10*avg {
+			heavy++
+		}
+	}
+	if heavy == 0 {
+		t.Error("no heavy (via) edges found; Alg. 4's rule would never fire")
+	}
+	if heavy == g.Sys.G.M() {
+		t.Error("all edges heavy; weight profile wrong")
+	}
+}
+
+func TestGenerateRejectsTinyLattice(t *testing.T) {
+	if _, err := Generate(Spec{NX: 1, NY: 5}); err == nil {
+		t.Fatal("1-wide lattice accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package powergrid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolutionRoundTrip(t *testing.T) {
+	names := []string{"n0_2_1", "n0_0_0", "n1_5_5"}
+	v := []float64{1.795, 1.8, 1.79999}
+	var sb strings.Builder
+	if err := WriteSolution(&sb, names, v); err != nil {
+		t.Fatal(err)
+	}
+	// sorted by name: n0_0_0 first
+	if !strings.HasPrefix(sb.String(), "n0_0_0") {
+		t.Fatalf("output not name-sorted:\n%s", sb.String())
+	}
+	got, err := ReadSolution(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if diff := got[name] - v[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: %g, want %g", name, got[name], v[i])
+		}
+	}
+}
+
+func TestWriteSolutionValidatesLengths(t *testing.T) {
+	if err := WriteSolution(&strings.Builder{}, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestReadSolutionRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"n1 1.0 extra\n",
+		"n1 notanumber\n",
+		"n1 1.0\nn1 2.0\n", // duplicate
+	} {
+		if _, err := ReadSolution(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// comments and blanks are fine
+	got, err := ReadSolution(strings.NewReader("* header\n\nn1  1.5\n# trailer\n"))
+	if err != nil || got["n1"] != 1.5 {
+		t.Fatalf("comment handling broken: %v %v", got, err)
+	}
+}
+
+func TestCompareSolutions(t *testing.T) {
+	a := map[string]float64{"x": 1.0, "y": 2.0}
+	b := map[string]float64{"x": 1.1, "y": 2.0}
+	d, err := CompareSolutions(a, b)
+	if err != nil || d < 0.0999 || d > 0.1001 {
+		t.Fatalf("diff %g, err %v", d, err)
+	}
+	if _, err := CompareSolutions(a, map[string]float64{"x": 1}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := CompareSolutions(a, map[string]float64{"x": 1, "z": 2}); err == nil {
+		t.Fatal("missing node accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package powergrid
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GridStats summarizes a generated grid's electrical structure — the
+// numbers a designer would sanity-check before a signoff run, and the
+// properties (degree profile, weight spread) that drive solver behaviour.
+type GridStats struct {
+	Nodes, Resistors int
+	NodesPerLayer    []int
+	WireRes          []float64 // per-layer representative wire resistance
+	Pads, Loads      int
+	TotalLoad        float64 // A
+	MinWeight        float64
+	MedianWeight     float64
+	MaxWeight        float64
+	MaxDegree        int
+}
+
+// Stats computes the summary.
+func (g *Grid) Stats() GridStats {
+	st := GridStats{
+		Nodes:     g.N(),
+		Resistors: g.Sys.G.M(),
+		Pads:      len(g.PadNodes),
+		WireRes:   append([]float64(nil), g.Spec.WireRes...),
+	}
+	st.NodesPerLayer = make([]int, g.Spec.Layers)
+	for _, l := range g.Layer {
+		st.NodesPerLayer[l]++
+	}
+	for _, a := range g.LoadAmps {
+		if a != 0 {
+			st.Loads++
+			st.TotalLoad += a
+		}
+	}
+	weights := make([]float64, 0, g.Sys.G.M())
+	for _, e := range g.Sys.G.Edges {
+		weights = append(weights, e.W)
+	}
+	if len(weights) > 0 {
+		sort.Float64s(weights)
+		st.MinWeight = weights[0]
+		st.MedianWeight = weights[len(weights)/2]
+		st.MaxWeight = weights[len(weights)-1]
+	}
+	for _, d := range g.Sys.G.Degrees() {
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	return st
+}
+
+// WriteReport renders a human-readable summary.
+func (st GridStats) WriteReport(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes %d, resistors %d, pads %d, loads %d (%.3f A total)\n",
+		st.Nodes, st.Resistors, st.Pads, st.Loads, st.TotalLoad)
+	fmt.Fprintf(&sb, "conductance min/median/max: %.3g / %.3g / %.3g S (spread %.0fx)\n",
+		st.MinWeight, st.MedianWeight, st.MaxWeight, st.MaxWeight/st.MedianWeight)
+	fmt.Fprintf(&sb, "max node degree %d\n", st.MaxDegree)
+	for l, n := range st.NodesPerLayer {
+		fmt.Fprintf(&sb, "  layer %d: %6d nodes, wire %.3g ohm/seg\n", l, n, st.WireRes[l])
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// DropHistogram bins the IR drop of the bottom-layer nodes of solution v
+// into `bins` equal-width buckets between 0 and the worst drop, returning
+// bucket upper bounds and counts — the standard IR-drop signoff histogram.
+func (g *Grid) DropHistogram(v []float64, bins int) (bounds []float64, counts []int) {
+	if bins < 1 {
+		bins = 10
+	}
+	var drops []float64
+	worst := 0.0
+	for i := range v {
+		if g.Layer[i] != 0 {
+			continue
+		}
+		d := g.Spec.Vdd - v[i]
+		if d < 0 {
+			d = 0
+		}
+		drops = append(drops, d)
+		if d > worst {
+			worst = d
+		}
+	}
+	bounds = make([]float64, bins)
+	counts = make([]int, bins)
+	if worst == 0 {
+		if len(drops) > 0 {
+			counts[0] = len(drops)
+		}
+		return bounds, counts
+	}
+	for i := range bounds {
+		bounds[i] = worst * float64(i+1) / float64(bins)
+	}
+	for _, d := range drops {
+		k := int(d / worst * float64(bins))
+		if k >= bins {
+			k = bins - 1
+		}
+		counts[k]++
+	}
+	return bounds, counts
+}

@@ -1,0 +1,81 @@
+package powergrid
+
+import (
+	"strings"
+	"testing"
+
+	"powerrchol/internal/pcg"
+)
+
+func TestStatsAreConsistent(t *testing.T) {
+	g, err := Generate(smallSpec(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Nodes != g.N() || st.Resistors != g.Sys.G.M() {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	total := 0
+	for _, n := range st.NodesPerLayer {
+		total += n
+	}
+	if total != st.Nodes {
+		t.Fatalf("layer counts sum to %d, want %d", total, st.Nodes)
+	}
+	if !(st.MinWeight <= st.MedianWeight && st.MedianWeight <= st.MaxWeight) {
+		t.Fatalf("weight quantiles not ordered: %+v", st)
+	}
+	if st.Pads == 0 || st.Loads == 0 || st.TotalLoad <= 0 {
+		t.Fatalf("pads/loads missing: %+v", st)
+	}
+	var sb strings.Builder
+	if err := st.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "layer 0") {
+		t.Fatalf("report missing layers:\n%s", sb.String())
+	}
+}
+
+func TestDropHistogram(t *testing.T) {
+	g, err := Generate(smallSpec(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pcg.Solve(g.Sys.ToCSC(), g.B, nil, pcg.Options{Tol: 1e-10, MaxIter: 10000})
+	if err != nil || !res.Converged {
+		t.Fatal("solve failed")
+	}
+	bounds, counts := g.DropHistogram(res.X, 8)
+	if len(bounds) != 8 || len(counts) != 8 {
+		t.Fatalf("histogram shape %d/%d", len(bounds), len(counts))
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	bottom := 0
+	for _, l := range g.Layer {
+		if l == 0 {
+			bottom++
+		}
+	}
+	if sum != bottom {
+		t.Fatalf("histogram covers %d nodes, want %d", sum, bottom)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing: %v", bounds)
+		}
+	}
+	// all-at-Vdd corner case
+	flat := make([]float64, g.N())
+	for i := range flat {
+		flat[i] = g.Spec.Vdd
+	}
+	_, counts = g.DropHistogram(flat, 4)
+	if counts[0] != bottom {
+		t.Fatalf("flat histogram: %v", counts)
+	}
+}

@@ -1,0 +1,221 @@
+package powergrid
+
+import (
+	"fmt"
+
+	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
+)
+
+// Transient analysis extends the static solver to RC power grids: with
+// node capacitances C (ground caps plus decoupling caps), backward Euler
+// at step size h turns C·dv/dt + G·v = i(t) into
+//
+//	(G + C/h)·v_{t+1} = (C/h)·v_t + i(t+1),
+//
+// whose matrix is again an SDDM (capacitance only adds diagonal slack)
+// and is factorized ONCE for all time steps — the workload that rewards
+// PowerRChol's cheap, strong preconditioner the most.
+
+// TransientSpec configures a transient run over a generated Grid.
+type TransientSpec struct {
+	// CapBase is the ground capacitance per node (F); default 1e-15.
+	CapBase float64
+	// DecapFrac is the fraction of bottom-layer nodes carrying a
+	// decoupling capacitor; default 0.05.
+	DecapFrac float64
+	// DecapValue is the decap size (F); default 5e-13.
+	DecapValue float64
+	// TimeStep is the backward-Euler step h (s); default 1e-11.
+	TimeStep float64
+	// Steps is the number of time steps; default 50.
+	Steps int
+	// SurgeStep, if >= 0, turns every load on simultaneously at this step
+	// (a di/dt surge event). Default Steps/2; set negative to disable.
+	SurgeStep int
+	// Seed drives the per-load switching waveforms.
+	Seed uint64
+}
+
+func (ts *TransientSpec) setDefaults() error {
+	if ts.CapBase == 0 {
+		ts.CapBase = 1e-15
+	}
+	if ts.DecapFrac == 0 {
+		ts.DecapFrac = 0.05
+	}
+	if ts.DecapValue == 0 {
+		ts.DecapValue = 5e-13
+	}
+	if ts.TimeStep == 0 {
+		ts.TimeStep = 1e-11
+	}
+	if ts.TimeStep < 0 || ts.CapBase < 0 || ts.DecapValue < 0 {
+		return fmt.Errorf("powergrid: negative transient parameter")
+	}
+	if ts.Steps == 0 {
+		ts.Steps = 50
+	}
+	if ts.SurgeStep == 0 {
+		ts.SurgeStep = ts.Steps / 2
+	}
+	return nil
+}
+
+// TransientResult records one waveform point per time step.
+type TransientResult struct {
+	Times      []float64 // s
+	WorstDrop  []float64 // V, bottom layer
+	AvgDrop    []float64 // V, bottom layer
+	TotalIters int       // PCG iterations summed over all steps
+	FinalV     []float64
+}
+
+// PeakDrop returns the largest worst-case drop over the run and its step.
+func (tr *TransientResult) PeakDrop() (float64, int) {
+	peak, at := 0.0, -1
+	for i, d := range tr.WorstDrop {
+		if d > peak {
+			peak, at = d, i
+		}
+	}
+	return peak, at
+}
+
+// StepSolve solves one backward-Euler system A'·v = b and reports the
+// iteration count. Implementations wrap a prepared solver (e.g.
+// powerrchol.Solver) so the factorization is reused across steps.
+type StepSolve func(b []float64) (v []float64, iters int, err error)
+
+// TransientSystem assembles the backward-Euler matrix G + C/h as an SDDM
+// and returns it with the per-node capacitance vector. The returned
+// system shares the Grid's graph (capacitance is purely diagonal).
+func (g *Grid) TransientSystem(ts TransientSpec) (*graph.SDDM, []float64, error) {
+	if err := ts.setDefaults(); err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	caps := make([]float64, n)
+	r := rng.New(ts.Seed ^ 0xc0ffee)
+	for i := 0; i < n; i++ {
+		caps[i] = ts.CapBase
+		if g.Layer[i] == 0 && r.Float64() < ts.DecapFrac {
+			caps[i] += ts.DecapValue
+		}
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = g.Sys.D[i] + caps[i]/ts.TimeStep
+	}
+	sys, err := graph.NewSDDM(g.Sys.G, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, caps, nil
+}
+
+// LoadWaveform returns the load current of node i at time step t: loads
+// switch with a pseudo-random period/phase each, and all switch on at the
+// surge step. Deterministic in the spec's seed.
+type loadWaveform struct {
+	period []int32
+	phase  []int32
+	duty   []int32
+	spec   TransientSpec
+}
+
+func (g *Grid) newWaveform(ts TransientSpec) *loadWaveform {
+	n := g.N()
+	w := &loadWaveform{
+		period: make([]int32, n),
+		phase:  make([]int32, n),
+		duty:   make([]int32, n),
+		spec:   ts,
+	}
+	r := rng.New(ts.Seed ^ 0xdeadbeef)
+	for i := 0; i < n; i++ {
+		if g.LoadAmps[i] == 0 {
+			continue
+		}
+		w.period[i] = int32(4 + r.Intn(12))
+		w.phase[i] = int32(r.Intn(int(w.period[i])))
+		w.duty[i] = int32(1 + r.Intn(int(w.period[i])-1))
+	}
+	return w
+}
+
+func (w *loadWaveform) active(i, step int) bool {
+	if step == w.spec.SurgeStep {
+		return true
+	}
+	p := w.period[i]
+	if p == 0 {
+		return false
+	}
+	return (int32(step)+w.phase[i])%p < w.duty[i]
+}
+
+// RunTransient integrates the grid for ts.Steps backward-Euler steps from
+// the DC operating point of the unloaded grid (all nodes at Vdd), using
+// solve for the per-step linear systems.
+func (g *Grid) RunTransient(ts TransientSpec, solve StepSolve) (*TransientResult, error) {
+	if err := ts.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	_, caps, err := g.TransientSystem(ts)
+	if err != nil {
+		return nil, err
+	}
+	wave := g.newWaveform(ts)
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = g.Spec.Vdd // unloaded operating point
+	}
+	b := make([]float64, n)
+	padW := 1 / g.Spec.PadRes
+	res := &TransientResult{}
+
+	for step := 1; step <= ts.Steps; step++ {
+		for i := 0; i < n; i++ {
+			b[i] = caps[i] / ts.TimeStep * v[i]
+		}
+		for _, p := range g.PadNodes {
+			b[p] += padW * g.Spec.Vdd
+		}
+		for i, amps := range g.LoadAmps {
+			if amps != 0 && wave.active(i, step) {
+				b[i] -= amps
+			}
+		}
+		vNew, iters, err := solve(b)
+		if err != nil {
+			return nil, fmt.Errorf("powergrid: transient step %d: %w", step, err)
+		}
+		v = vNew
+		res.TotalIters += iters
+
+		worst, sum, count := 0.0, 0.0, 0
+		for i := 0; i < n; i++ {
+			if g.Layer[i] != 0 {
+				continue
+			}
+			drop := g.Spec.Vdd - v[i]
+			sum += drop
+			count++
+			if drop > worst {
+				worst = drop
+			}
+		}
+		res.Times = append(res.Times, float64(step)*ts.TimeStep)
+		res.WorstDrop = append(res.WorstDrop, worst)
+		if count > 0 {
+			res.AvgDrop = append(res.AvgDrop, sum/float64(count))
+		} else {
+			res.AvgDrop = append(res.AvgDrop, 0)
+		}
+	}
+	res.FinalV = v
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package powergrid
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"powerrchol/internal/pcg"
+)
+
+// cgStepSolver wraps plain CG as a StepSolve for tests (the examples use
+// the PowerRChol facade; tests avoid the import cycle).
+func cgStepSolver(t *testing.T, g *Grid, ts TransientSpec) StepSolve {
+	t.Helper()
+	sys, _, err := g.TransientSystem(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.ToCSC()
+	return func(b []float64) ([]float64, int, error) {
+		res, err := pcg.Solve(a, b, nil, pcg.Options{Tol: 1e-12, MaxIter: 20000})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.X, res.Iterations, nil
+	}
+}
+
+func TestTransientSystemAddsOnlyDiagonal(t *testing.T) {
+	g, err := Generate(smallSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TransientSpec{Seed: 1}
+	sys, caps, err := g.TransientSystem(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.G != g.Sys.G {
+		t.Fatal("transient system must share the conductance graph")
+	}
+	if len(caps) != g.N() {
+		t.Fatalf("caps length %d", len(caps))
+	}
+	h := 1e-11 // default TimeStep
+	for i := range caps {
+		if caps[i] <= 0 {
+			t.Fatalf("node %d has no capacitance", i)
+		}
+		want := g.Sys.D[i] + caps[i]/h
+		if math.Abs(sys.D[i]-want) > 1e-9*want {
+			t.Fatalf("D'[%d] = %g, want %g", i, sys.D[i], want)
+		}
+	}
+}
+
+func TestTransientNoLoadsStaysAtVdd(t *testing.T) {
+	spec := smallSpec(6)
+	spec.LoadFrac = -1
+	g, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TransientSpec{Steps: 10, SurgeStep: -1, Seed: 2}
+	res, err := g.RunTransient(ts, cgStepSolver(t, g, ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := res.PeakDrop()
+	if peak > 1e-6 {
+		t.Fatalf("unloaded grid drooped %g V", peak)
+	}
+}
+
+func TestTransientApproachesDCSteadyState(t *testing.T) {
+	// With the surge disabled and every load forced permanently on
+	// (duty = period), the waveform must settle to the static solution.
+	g, err := Generate(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TransientSpec{Steps: 400, SurgeStep: -1, Seed: 3, TimeStep: 1e-10}
+	solve := cgStepSolver(t, g, ts)
+	// force always-on loads by solving the same spec but overriding the
+	// waveform: surge at every step is equivalent; instead run DC and
+	// compare the tail of a run whose loads are always on via duty=period.
+	// Simplest: use SurgeStep semantics — set surge at each step by
+	// wrapping the waveform is not exposed, so instead exploit that with
+	// Steps*TimeStep >> RC the pseudo-random switching averages out and
+	// the final drop must be bounded by the DC all-on drop.
+	res, err := g.RunTransient(ts, solve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := pcg.Solve(g.Sys.ToCSC(), g.B, nil, pcg.Options{Tol: 1e-12, MaxIter: 20000})
+	if err != nil || !dc.Converged {
+		t.Fatal("dc solve failed")
+	}
+	dcWorst := 0.0
+	for i, v := range dc.X {
+		if g.Layer[i] == 0 {
+			if d := g.Spec.Vdd - v; d > dcWorst {
+				dcWorst = d
+			}
+		}
+	}
+	peak, _ := res.PeakDrop()
+	if peak > dcWorst*1.05+1e-9 {
+		t.Fatalf("transient peak %g exceeds DC all-on drop %g", peak, dcWorst)
+	}
+	if peak <= 0 {
+		t.Fatal("loaded transient produced no droop at all")
+	}
+}
+
+func TestTransientSurgeIsThePeak(t *testing.T) {
+	g, err := Generate(smallSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := TransientSpec{Steps: 40, Seed: 4} // surge defaults to step 20
+	res, err := g.RunTransient(ts, cgStepSolver(t, g, ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, at := res.PeakDrop()
+	// backward Euler reaches the surge's full effect at the surge step
+	if at+1 != ts.Steps/2 && at != ts.Steps/2 && at-1 != ts.Steps/2 {
+		t.Fatalf("peak at step %d, surge at %d", at+1, ts.Steps/2)
+	}
+	if len(res.Times) != ts.Steps || len(res.WorstDrop) != ts.Steps {
+		t.Fatalf("waveform lengths %d/%d", len(res.Times), len(res.WorstDrop))
+	}
+	if res.TotalIters == 0 {
+		t.Fatal("iteration accounting missing")
+	}
+}
+
+func TestTransientLargerCapsSmoothTheWaveform(t *testing.T) {
+	g, err := Generate(smallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := map[string]float64{}
+	for name, cap := range map[string]float64{"small": 1e-16, "large": 2e-12} {
+		ts := TransientSpec{Steps: 30, Seed: 5, CapBase: cap, DecapFrac: -1}
+		res, err := g.RunTransient(ts, cgStepSolver(t, g, ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks[name], _ = res.PeakDrop()
+	}
+	if peaks["large"] >= peaks["small"] {
+		t.Fatalf("more capacitance should damp the droop: %v", peaks)
+	}
+}
+
+func TestNetlistCapacitors(t *testing.T) {
+	src := "R1 a b 1\nC1 a 0 1e-12\nV1 b 0 1.8\n"
+	nl, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Capacitors) != 1 || nl.Capacitors[0].Farads != 1e-12 {
+		t.Fatalf("capacitor not parsed: %+v", nl.Capacitors)
+	}
+	var sb strings.Builder
+	if err := nl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl2.Capacitors) != 1 {
+		t.Fatal("capacitor lost in round trip")
+	}
+	if _, err := Parse(strings.NewReader("C1 a 0 -1e-12\n")); err == nil {
+		t.Fatal("negative capacitance accepted")
+	}
+}
+
+func TestTransientRejectsBadSpec(t *testing.T) {
+	g, err := Generate(smallSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.TransientSystem(TransientSpec{TimeStep: -1}); err == nil {
+		t.Fatal("negative time step accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		v := r.Float64Open()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open = %g out of (0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %g, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance %g, want ~1/12", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v]++
+	}
+	for i, c := range seen {
+		if c == 0 {
+			t.Errorf("value %d never produced", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rand
+	_ = r.Uint64() // must not panic
+}

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format (triplet) matrix builder. Duplicate entries
+// are summed when converting to CSC, matching Matrix Market semantics.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty triplet accumulator with capacity for nnz entries.
+func NewCOO(rows, cols, nnz int) *COO {
+	return &COO{
+		Rows: rows,
+		Cols: cols,
+		I:    make([]int, 0, nnz),
+		J:    make([]int, 0, nnz),
+		V:    make([]float64, 0, nnz),
+	}
+}
+
+// Add appends the triplet (i, j, v). Zero values are kept so that explicit
+// structural zeros survive a round-trip; call ToCSC to sum duplicates.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// AddSym appends (i, j, v) and, when i != j, also (j, i, v). It is the
+// natural builder for symmetric matrices stored with both triangles.
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// NNZ returns the number of accumulated triplets (before duplicate
+// summing).
+func (c *COO) NNZ() int { return len(c.I) }
+
+// ToCSC converts the triplets to CSC, summing duplicates and sorting row
+// indices within each column. Entries that sum exactly to zero are kept
+// (pattern-preserving); use DropZeros on the result to remove them.
+func (c *COO) ToCSC() *CSC {
+	nnz := len(c.I)
+	a := &CSC{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		ColPtr: make([]int, c.Cols+1),
+		RowIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	// Counting pass per column.
+	for _, j := range c.J {
+		a.ColPtr[j+1]++
+	}
+	for j := 0; j < c.Cols; j++ {
+		a.ColPtr[j+1] += a.ColPtr[j]
+	}
+	next := append([]int(nil), a.ColPtr...)
+	for k := 0; k < nnz; k++ {
+		j := c.J[k]
+		q := next[j]
+		next[j]++
+		a.RowIdx[q] = c.I[k]
+		a.Val[q] = c.V[k]
+	}
+	// Sort each column by row index and merge duplicates in place.
+	out := 0
+	colStart := make([]int, c.Cols+1)
+	for j := 0; j < c.Cols; j++ {
+		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		seg := colSorter{rows: a.RowIdx[lo:hi], vals: a.Val[lo:hi]}
+		sort.Sort(seg)
+		colStart[j] = out
+		for p := lo; p < hi; p++ {
+			if out > colStart[j] && a.RowIdx[out-1] == a.RowIdx[p] {
+				a.Val[out-1] += a.Val[p]
+			} else {
+				a.RowIdx[out] = a.RowIdx[p]
+				a.Val[out] = a.Val[p]
+				out++
+			}
+		}
+	}
+	colStart[c.Cols] = out
+	a.ColPtr = colStart
+	a.RowIdx = a.RowIdx[:out]
+	a.Val = a.Val[:out]
+	return a
+}
+
+type colSorter struct {
+	rows []int
+	vals []float64
+}
+
+func (s colSorter) Len() int           { return len(s.rows) }
+func (s colSorter) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
+func (s colSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// DropZeros removes entries with |v| <= tol in place and returns a.
+func (a *CSC) DropZeros(tol float64) *CSC {
+	out := 0
+	start := 0
+	for j := 0; j < a.Cols; j++ {
+		end := a.ColPtr[j+1]
+		a.ColPtr[j] = out
+		for p := start; p < end; p++ {
+			if a.Val[p] > tol || a.Val[p] < -tol {
+				a.RowIdx[out] = a.RowIdx[p]
+				a.Val[out] = a.Val[p]
+				out++
+			}
+		}
+		start = end
+	}
+	a.ColPtr[a.Cols] = out
+	a.RowIdx = a.RowIdx[:out]
+	a.Val = a.Val[:out]
+	return a
+}

@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"powerrchol/internal/rng"
+)
+
+func TestCSRMatchesCSC(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := int(nRaw%40) + 1
+		a := randomCOO(r, n, 4*n).ToCSC()
+		c := a.ToCSR()
+		if c.NNZ() != a.NNZ() {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(y1, x)
+		c.MulVec(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRParallelMatchesSerial(t *testing.T) {
+	r := rng.New(5)
+	n := 500
+	a := randomCOO(r, n, 8*n).ToCSC().ToCSR()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	want := make([]float64, n)
+	a.MulVec(want, x)
+	for _, workers := range []int{1, 2, 3, 4, 8, 100} {
+		got := make([]float64, n)
+		a.MulVecParallel(got, x, workers)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("workers=%d: y[%d] = %g, want %g", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSRPartitionCoversAllRows(t *testing.T) {
+	r := rng.New(7)
+	// skewed matrix: one dense row among sparse rows
+	c := NewCOO(200, 200, 1000)
+	for j := 0; j < 200; j++ {
+		c.Add(0, j, 1) // hub row
+	}
+	for k := 0; k < 400; k++ {
+		c.Add(1+r.Intn(199), r.Intn(200), 1)
+	}
+	a := c.ToCSC().ToCSR()
+	for _, workers := range []int{2, 4, 7} {
+		b := a.partition(workers)
+		if b[0] != 0 || b[workers] != a.Rows {
+			t.Fatalf("partition %v does not span rows", b)
+		}
+		for w := 0; w < workers; w++ {
+			if b[w] > b[w+1] {
+				t.Fatalf("partition %v not monotone", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market I/O for the "matrix coordinate real general|symmetric"
+// subset, which covers every matrix this repository reads or writes.
+// Symmetric files store the lower triangle; ReadMatrixMarket mirrors it so
+// the returned CSC holds both triangles, matching the package convention.
+
+// ReadMatrixMarket parses a Matrix Market stream.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
+	}
+	if fields[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", fields[2])
+	}
+	if fields[3] != "real" && fields[3] != "integer" && fields[3] != "pattern" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field %q", fields[3])
+	}
+	pattern := fields[3] == "pattern"
+	symmetric := false
+	switch fields[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", fields[4])
+	}
+
+	var rows, cols, nnz int
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: missing MatrixMarket size line: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		break
+	}
+
+	coo := NewCOO(rows, cols, nnz*2)
+	for k := 0; k < nnz; {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			f := strings.Fields(trimmed)
+			if len(f) < 2 {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
+			}
+			i, err1 := strconv.Atoi(f[0])
+			j, err2 := strconv.Atoi(f[1])
+			v := 1.0
+			var err3 error
+			if !pattern {
+				if len(f) < 3 {
+					return nil, fmt.Errorf("sparse: missing value in entry %q", trimmed)
+				}
+				v, err3 = strconv.ParseFloat(f[2], 64)
+			}
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
+			}
+			if i < 1 || i > rows || j < 1 || j > cols {
+				return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of range", i, j)
+			}
+			coo.Add(i-1, j-1, v)
+			if symmetric && i != j {
+				coo.Add(j-1, i-1, v)
+			}
+			k++
+		}
+		if err != nil {
+			if err == io.EOF && k == nnz {
+				break
+			}
+			if err == io.EOF {
+				return nil, fmt.Errorf("sparse: MatrixMarket file truncated: got %d of %d entries", k, nnz)
+			}
+			return nil, err
+		}
+	}
+	return coo.ToCSC(), nil
+}
+
+// WriteMatrixMarket writes a in "coordinate real" format. If symmetric is
+// true only the lower triangle is emitted with the symmetric header (the
+// caller asserts the matrix is symmetric).
+func WriteMatrixMarket(w io.Writer, a *CSC, symmetric bool) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	kind := "general"
+	if symmetric {
+		kind = "symmetric"
+	}
+	nnz := 0
+	for j := 0; j < a.Cols; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if !symmetric || a.RowIdx[p] >= j {
+				nnz++
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n%d %d %d\n",
+		kind, a.Rows, a.Cols, nnz); err != nil {
+		return err
+	}
+	for j := 0; j < a.Cols; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			i := a.RowIdx[p]
+			if symmetric && i < j {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, a.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

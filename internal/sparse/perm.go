@@ -1,0 +1,79 @@
+package sparse
+
+import "fmt"
+
+// CheckPerm verifies that p is a permutation of [0, n).
+func CheckPerm(p []int, n int) error {
+	if len(p) != n {
+		return fmt.Errorf("sparse: permutation has length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n {
+			return fmt.Errorf("sparse: permutation entry %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("sparse: permutation entry %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// InvPerm returns the inverse of permutation p: if p[newIdx] = oldIdx then
+// InvPerm(p)[oldIdx] = newIdx.
+func InvPerm(p []int) []int {
+	inv := make([]int, len(p))
+	for newIdx, oldIdx := range p {
+		inv[oldIdx] = newIdx
+	}
+	return inv
+}
+
+// PermuteSym computes B = P·A·Pᵀ for a square matrix A, where the
+// permutation is given as perm[newIdx] = oldIdx; i.e. row/column oldIdx of
+// A becomes row/column newIdx of B. Columns of B are sorted.
+func PermuteSym(a *CSC, perm []int) *CSC {
+	n := a.Cols
+	inv := InvPerm(perm)
+	coo := NewCOO(n, n, a.NNZ())
+	for j := 0; j < n; j++ {
+		nj := inv[j]
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			coo.Add(inv[a.RowIdx[p]], nj, a.Val[p])
+		}
+	}
+	return coo.ToCSC()
+}
+
+// PermuteVec scatters x into a fresh vector y with y[newIdx] = x[perm[newIdx]].
+func PermuteVec(x []float64, perm []int) []float64 {
+	y := make([]float64, len(x))
+	for newIdx, oldIdx := range perm {
+		y[newIdx] = x[oldIdx]
+	}
+	return y
+}
+
+// PermuteVecInto is PermuteVec writing into caller storage.
+func PermuteVecInto(y, x []float64, perm []int) {
+	for newIdx, oldIdx := range perm {
+		y[newIdx] = x[oldIdx]
+	}
+}
+
+// UnpermuteVecInto inverts PermuteVecInto: y[perm[newIdx]] = x[newIdx].
+func UnpermuteVecInto(y, x []float64, perm []int) {
+	for newIdx, oldIdx := range perm {
+		y[oldIdx] = x[newIdx]
+	}
+}
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

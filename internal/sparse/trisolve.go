@@ -1,0 +1,50 @@
+package sparse
+
+// The triangular solves in this file are the inner kernel of every
+// factorization-based preconditioner: applying M⁻¹ = L⁻ᵀ·L⁻¹ costs one
+// forward and one backward solve per PCG iteration.
+
+// LowerSolve solves L·x = b in place (x aliases b on entry) for a lower
+// triangular matrix stored in CSC with the diagonal as the FIRST entry of
+// each column. This layout is produced by all factorizations in this
+// repository.
+func LowerSolve(l *CSC, x []float64) {
+	for j := 0; j < l.Cols; j++ {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		xj := x[j] / l.Val[p]
+		x[j] = xj
+		for p++; p < end; p++ {
+			x[l.RowIdx[p]] -= l.Val[p] * xj
+		}
+	}
+}
+
+// LowerTransposeSolve solves Lᵀ·x = b in place for the same storage layout
+// as LowerSolve (lower triangular CSC, diagonal first per column). Row i of
+// Lᵀ is column i of L, so the backward substitution is a per-column dot
+// product.
+func LowerTransposeSolve(l *CSC, x []float64) {
+	for j := l.Cols - 1; j >= 0; j-- {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		sum := x[j]
+		for q := p + 1; q < end; q++ {
+			sum -= l.Val[q] * x[l.RowIdx[q]]
+		}
+		x[j] = sum / l.Val[p]
+	}
+}
+
+// UpperSolve solves U·x = b in place for an upper triangular CSC matrix
+// with the diagonal as the LAST entry of each column.
+func UpperSolve(u *CSC, x []float64) {
+	for j := u.Cols - 1; j >= 0; j-- {
+		end := u.ColPtr[j+1] - 1
+		xj := x[j] / u.Val[end]
+		x[j] = xj
+		for p := u.ColPtr[j]; p < end; p++ {
+			x[u.RowIdx[p]] -= u.Val[p] * xj
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import "math"
+
+// Small dense-vector helpers shared by the iterative solvers. They are
+// deliberately plain loops: at the sizes this repository targets the
+// kernels are memory bound and the compiler vectorizes them adequately.
+
+// Dot returns xᵀ·y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha·x.
+func Axpy(y []float64, alpha float64, x []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale computes x *= alpha.
+func Scale(x []float64, alpha float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	copy(dst, src)
+}
+
+// Zero clears x.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

@@ -1,0 +1,195 @@
+package powerrchol
+
+import (
+	"fmt"
+	"time"
+
+	"powerrchol/internal/amg"
+	"powerrchol/internal/chol"
+	"powerrchol/internal/core"
+	"powerrchol/internal/fegrass"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/ichol"
+	"powerrchol/internal/order"
+	"powerrchol/internal/pcg"
+	"powerrchol/internal/sparse"
+)
+
+// Solver is a prepared solver: the reordering and preconditioner are
+// built once and then amortized over many right-hand sides — the shape of
+// real power-grid analysis, where one conductance matrix is solved for
+// many load patterns (or many transient time steps).
+type Solver struct {
+	opt Options
+	sys *graph.SDDM
+	a   *sparse.CSC
+	m   pcg.Preconditioner
+
+	setupReorder   time.Duration
+	setupFactorize time.Duration
+	factorNNZ      int
+}
+
+// NewSolver validates the system and builds the preconditioner for the
+// method selected in opt. MethodPowerRush is not supported here (its
+// contraction changes the unknowns; use Solve) and MethodDirect is
+// supported (Apply is an exact solve, so PCG converges in one iteration).
+func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 500
+	}
+	s := &Solver{opt: opt, sys: sys}
+
+	t0 := time.Now()
+	var perm []int
+	switch opt.Method {
+	case MethodPowerRChol:
+		perm = buildOrdering(sys, orderOr(opt.Ordering, OrderAlg4), opt.HeavyFactor)
+	case MethodRChol, MethodLTRChol, MethodDirect:
+		perm = buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor)
+	}
+	s.setupReorder = time.Since(t0)
+
+	t0 = time.Now()
+	var err error
+	switch opt.Method {
+	case MethodPowerRChol, MethodLTRChol, MethodRChol:
+		variant := core.VariantLT
+		if opt.Method == MethodRChol {
+			variant = core.VariantRChol
+		}
+		var f *core.Factor
+		f, err = core.Factorize(sys, perm, core.Options{
+			Variant: variant, Buckets: opt.Buckets, Seed: opt.Seed, Samples: opt.Samples,
+		})
+		if err == nil {
+			s.m = f
+			s.factorNNZ = f.NNZ()
+		}
+	case MethodFeGRASS, MethodFeGRASSIChol:
+		frac := opt.RecoverFrac
+		if frac == 0 {
+			if opt.Method == MethodFeGRASSIChol {
+				frac = fegrass.IcholRecoverFrac
+			} else {
+				frac = fegrass.DefaultRecoverFrac
+			}
+		}
+		var sp *graph.SDDM
+		sp, err = fegrass.Sparsify(sys, frac)
+		if err == nil {
+			sperm := order.AMD(sp.G)
+			var f *core.Factor
+			if opt.Method == MethodFeGRASSIChol {
+				f, err = ichol.Factorize(sp.ToCSC(), sperm, ichol.Options{DropTol: opt.DropTol})
+			} else {
+				f, err = chol.Factorize(sp.ToCSC(), sperm)
+			}
+			if err == nil {
+				s.m = f
+				s.factorNNZ = f.NNZ()
+			}
+		}
+	case MethodDirect:
+		var f *core.Factor
+		f, err = chol.Factorize(sys.ToCSC(), perm)
+		if err == nil {
+			s.m = f
+			s.factorNNZ = f.NNZ()
+		}
+	case MethodAMG:
+		s.a = sys.ToCSC()
+		var p *amg.Preconditioner
+		p, err = amg.New(s.a, amg.Options{})
+		if err == nil {
+			s.m = p
+		}
+	case MethodJacobi:
+		s.a = sys.ToCSC()
+		s.m, err = pcg.NewJacobi(s.a)
+	case MethodSSOR:
+		s.a = sys.ToCSC()
+		s.m, err = pcg.NewSSOR(s.a, 0)
+	case MethodPowerRush:
+		err = fmt.Errorf("powerrchol: MethodPowerRush contracts the system; use Solve instead of NewSolver")
+	default:
+		err = fmt.Errorf("powerrchol: unknown method %v", opt.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.setupFactorize = time.Since(t0)
+	if s.a == nil {
+		s.a = sys.ToCSC()
+	}
+	return s, nil
+}
+
+func orderOr(o, def Ordering) Ordering {
+	if o == OrderDefault {
+		return def
+	}
+	return o
+}
+
+// SetupTimings reports the one-time reorder and factorization cost.
+func (s *Solver) SetupTimings() Timings {
+	return Timings{Reorder: s.setupReorder, Factorize: s.setupFactorize}
+}
+
+// FactorNNZ reports |L| (0 for AMG/Jacobi).
+func (s *Solver) FactorNNZ() int { return s.factorNNZ }
+
+// Solve runs PCG for one right-hand side, reusing the prepared
+// preconditioner. The returned Result's Timings contain only the
+// iteration time (setup is reported once by SetupTimings).
+func (s *Solver) Solve(b []float64) (*Result, error) {
+	if len(b) != s.sys.N() {
+		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), s.sys.N())
+	}
+	res := &Result{FactorNNZ: s.factorNNZ}
+	t0 := time.Now()
+	pres, err := pcg.Solve(s.a, b, s.m, pcg.Options{Tol: s.opt.Tol, MaxIter: s.opt.MaxIter})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Iterate = time.Since(t0)
+	fill(res, pres)
+	if !res.Converged {
+		return res, ErrNotConverged
+	}
+	return res, nil
+}
+
+// SolveFrom is Solve with a warm start: PCG begins at x0 instead of
+// zero. Across transient time steps, where consecutive solutions differ
+// little, this typically saves a third or more of the iterations.
+func (s *Solver) SolveFrom(b, x0 []float64) (*Result, error) {
+	if len(b) != s.sys.N() {
+		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), s.sys.N())
+	}
+	res := &Result{FactorNNZ: s.factorNNZ}
+	t0 := time.Now()
+	pres, err := pcg.SolveFrom(s.a, b, x0, s.m, pcg.Options{Tol: s.opt.Tol, MaxIter: s.opt.MaxIter})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Iterate = time.Since(t0)
+	fill(res, pres)
+	if !res.Converged {
+		return res, ErrNotConverged
+	}
+	return res, nil
+}
+
+// ConditionEstimate runs a short preconditioned Lanczos process and
+// returns an estimate of κ(M⁻¹A), the condition number governing PCG
+// convergence. It is a diagnostic, accurate to a few percent for the
+// extreme eigenvalues after ~30 iterations on the matrices in this
+// repository.
+func (s *Solver) ConditionEstimate(iters int) (float64, error) {
+	return pcg.ConditionEstimate(s.a, s.m, iters, s.opt.Seed)
+}
