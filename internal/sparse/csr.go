@@ -91,16 +91,5 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 // partition returns workers+1 row boundaries with roughly equal nonzeros
 // per slice.
 func (a *CSR) partition(workers int) []int {
-	bounds := make([]int, workers+1)
-	nnz := a.NNZ()
-	row := 0
-	for w := 1; w < workers; w++ {
-		target := nnz * w / workers
-		for row < a.Rows && a.RowPtr[row] < target {
-			row++
-		}
-		bounds[w] = row
-	}
-	bounds[workers] = a.Rows
-	return bounds
+	return nnzPartition(a.RowPtr, a.Rows, workers)
 }

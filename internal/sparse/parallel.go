@@ -1,0 +1,196 @@
+package sparse
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel vector kernels. Two rules keep them predictable:
+//
+//  1. Results are deterministic for ANY worker count. Element-wise ops
+//     (axpy) are bitwise identical to their serial counterparts.
+//     Reductions (dot, norm) accumulate fixed-size blocks and fold the
+//     partial sums in block order, so the summation tree depends only on
+//     the vector length — never on scheduling or on `workers`.
+//  2. Below ParThreshold (or with workers <= 1) every kernel falls back
+//     to the serial implementation, so small problems keep the serial
+//     fast path and zero goroutine overhead.
+
+// ParThreshold is the vector length below which the parallel kernels run
+// serially: under ~8k elements the work per element (a few ns) cannot
+// amortize goroutine handoff.
+const ParThreshold = 8192
+
+// parBlock is the reduction block size. It is a fixed constant — NOT
+// derived from the worker count — so blocked reductions are reproducible
+// across machines and worker settings.
+const parBlock = 4096
+
+// parRange runs fn over [0,n) split into `workers` contiguous chunks and
+// waits for completion. fn must not have cross-chunk dependencies.
+func parRange(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parBlocks computes partial[b] = reduce(block b) for ceil(n/parBlock)
+// blocks, with workers claiming blocks from an atomic counter, and
+// returns the partial sums folded in ascending block order.
+func parBlocks(n, workers int, blockSum func(lo, hi int) float64) float64 {
+	nb := (n + parBlock - 1) / parBlock
+	partial := make([]float64, nb)
+	var next int64
+	var wg sync.WaitGroup
+	if workers > nb {
+		workers = nb
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * parBlock
+				hi := lo + parBlock
+				if hi > n {
+					hi = n
+				}
+				partial[b] = blockSum(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// DotPar returns xᵀ·y using up to `workers` goroutines. With workers <= 1
+// or short vectors it equals Dot bitwise; above the threshold it uses the
+// deterministic blocked summation described at the top of this file.
+func DotPar(x, y []float64, workers int) float64 {
+	if workers <= 1 || len(x) < ParThreshold {
+		return Dot(x, y)
+	}
+	return parBlocks(len(x), workers, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		return s
+	})
+}
+
+// Norm2Par returns ‖x‖₂ using up to `workers` goroutines, with the same
+// fallback and determinism rules as DotPar.
+func Norm2Par(x []float64, workers int) float64 {
+	if workers <= 1 || len(x) < ParThreshold {
+		return Norm2(x)
+	}
+	return math.Sqrt(parBlocks(len(x), workers, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * x[i]
+		}
+		return s
+	}))
+}
+
+// AxpyPar computes y += alpha·x using up to `workers` goroutines. The
+// operation is element-wise, so the result is bitwise identical to Axpy
+// for every worker count.
+func AxpyPar(y []float64, alpha float64, x []float64, workers int) {
+	if workers <= 1 || len(x) < ParThreshold {
+		Axpy(y, alpha, x)
+		return
+	}
+	parRange(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// MulVecTrans computes y = Aᵀ·x in gather form: y[j] is the dot product
+// of column j with x. For a symmetric matrix this equals A·x, which is
+// how the solvers use it — the gather form has no scatter races, so it
+// row-partitions trivially (see MulVecTransParallel).
+func (a *CSC) MulVecTrans(y, x []float64) {
+	for j := 0; j < a.Cols; j++ {
+		var s float64
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			s += a.Val[p] * x[a.RowIdx[p]]
+		}
+		y[j] = s
+	}
+}
+
+// MulVecTransParallel computes y = Aᵀ·x with output entries partitioned
+// across `workers` goroutines, balanced by nonzero count. Each y[j] is
+// accumulated serially in storage order, so the result is bitwise
+// identical to MulVecTrans for every worker count. For symmetric
+// matrices (both triangles stored) this is a race-free parallel A·x.
+func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
+	if workers <= 1 || a.NNZ() < ParThreshold {
+		a.MulVecTrans(y, x)
+		return
+	}
+	bounds := nnzPartition(a.ColPtr, a.Cols, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				var s float64
+				for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+					s += a.Val[p] * x[a.RowIdx[p]]
+				}
+				y[j] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// nnzPartition returns workers+1 boundaries over [0,n) with roughly equal
+// stored entries per slice, given the cumulative-entry pointer ptr.
+func nnzPartition(ptr []int, n, workers int) []int {
+	bounds := make([]int, workers+1)
+	nnz := ptr[n]
+	at := 0
+	for w := 1; w < workers; w++ {
+		target := nnz * w / workers
+		for at < n && ptr[at] < target {
+			at++
+		}
+		bounds[w] = at
+	}
+	bounds[workers] = n
+	return bounds
+}

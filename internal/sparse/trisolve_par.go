@@ -1,0 +1,180 @@
+package sparse
+
+import "sync"
+
+// Level-scheduled parallel triangular solves. A triangular solve looks
+// inherently sequential, but its dependency graph is the sparsity
+// structure of L: unknown j waits only on the unknowns appearing in row j
+// of L. Grouping unknowns into levels (all dependencies in strictly
+// earlier levels) exposes the parallelism; within a level every unknown
+// is computed independently in gather form, so there are no scatter races
+// and no atomic operations.
+//
+// Determinism: each unknown is accumulated serially in a fixed order —
+// ascending column order for the forward solve (matching the scatter
+// order of LowerSolve) and storage order for the transpose solve
+// (matching LowerTransposeSolve) — so both parallel solves are bitwise
+// identical to their serial counterparts for every worker count.
+
+// TriSolver precomputes the level schedule and a row-major (CSR) copy of
+// a lower-triangular factor L stored diag-first in CSC, enabling
+// parallel forward and transpose solves. The struct is read-only after
+// NewTriSolver and safe for concurrent use.
+type TriSolver struct {
+	l *CSC // the factor; transpose solves gather from it directly
+
+	// CSR of L for the forward gather solve. Rows are sorted by column
+	// ascending; the diagonal entry is therefore last in each row.
+	rowPtr []int
+	colIdx []int
+	val    []float64
+
+	fOrder, fPtr []int // forward levels: rows fOrder[fPtr[k]:fPtr[k+1]]
+	bOrder, bPtr []int // backward (transpose) levels, same encoding
+
+	// minParallel: levels smaller than this run serially; spawning
+	// goroutines for a handful of rows costs more than it saves.
+	minParallel int
+}
+
+// NewTriSolver builds the level schedule for the lower-triangular CSC
+// factor l (diagonal first in each column, as produced by every
+// factorization in this repository).
+func NewTriSolver(l *CSC) *TriSolver {
+	n := l.Cols
+	t := &TriSolver{l: l, minParallel: 256}
+
+	csr := l.ToCSR()
+	t.rowPtr, t.colIdx, t.val = csr.RowPtr, csr.ColIdx, csr.Val
+
+	// Forward levels: lev[j] = 1 + max lev[i] over entries i<j of row j.
+	// Scanning columns ascending visits every dependency edge (i -> j,
+	// i < j) after lev[i] is final.
+	lev := make([]int, n)
+	maxLev := 0
+	for i := 0; i < n; i++ {
+		li := lev[i] + 1
+		for p := l.ColPtr[i] + 1; p < l.ColPtr[i+1]; p++ {
+			if j := l.RowIdx[p]; lev[j] < li {
+				lev[j] = li
+			}
+		}
+		if lev[i] > maxLev {
+			maxLev = lev[i]
+		}
+	}
+	t.fOrder, t.fPtr = levelSort(lev, maxLev)
+
+	// Backward levels for Lᵀ·x = b: unknown j depends on the entries
+	// i > j of column j, so scan columns descending.
+	for i := range lev {
+		lev[i] = 0
+	}
+	maxLev = 0
+	for j := n - 1; j >= 0; j-- {
+		for p := l.ColPtr[j] + 1; p < l.ColPtr[j+1]; p++ {
+			if li := lev[l.RowIdx[p]] + 1; lev[j] < li {
+				lev[j] = li
+			}
+		}
+		if lev[j] > maxLev {
+			maxLev = lev[j]
+		}
+	}
+	t.bOrder, t.bPtr = levelSort(lev, maxLev)
+	return t
+}
+
+// levelSort buckets indices by level, preserving ascending index order
+// within a level, and returns the ordering plus level boundaries.
+func levelSort(lev []int, maxLev int) (order, ptr []int) {
+	n := len(lev)
+	ptr = make([]int, maxLev+2)
+	for _, l := range lev {
+		ptr[l+1]++
+	}
+	for l := 0; l <= maxLev; l++ {
+		ptr[l+1] += ptr[l]
+	}
+	order = make([]int, n)
+	next := append([]int(nil), ptr[:maxLev+1]...)
+	for i, l := range lev {
+		order[next[l]] = i
+		next[l]++
+	}
+	return order, ptr
+}
+
+// Levels reports the depth of the forward schedule (a parallelism
+// diagnostic: n/Levels is the average available width).
+func (t *TriSolver) Levels() int { return len(t.fPtr) - 1 }
+
+// LowerSolve solves L·x = b in place, level by level across `workers`
+// goroutines. Bitwise identical to sparse.LowerSolve.
+func (t *TriSolver) LowerSolve(x []float64, workers int) {
+	if workers <= 1 || t.l.Cols < ParThreshold {
+		LowerSolve(t.l, x)
+		return
+	}
+	t.run(t.fOrder, t.fPtr, workers, func(j int) {
+		end := t.rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		s := x[j]
+		for p := t.rowPtr[j]; p < end; p++ {
+			s -= t.val[p] * x[t.colIdx[p]]
+		}
+		x[j] = s / t.val[end]
+	})
+}
+
+// LowerTransposeSolve solves Lᵀ·x = b in place, level by level across
+// `workers` goroutines. Bitwise identical to sparse.LowerTransposeSolve.
+func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
+	if workers <= 1 || t.l.Cols < ParThreshold {
+		LowerTransposeSolve(t.l, x)
+		return
+	}
+	l := t.l
+	t.run(t.bOrder, t.bPtr, workers, func(j int) {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		s := x[j]
+		for q := p + 1; q < end; q++ {
+			s -= l.Val[q] * x[l.RowIdx[q]]
+		}
+		x[j] = s / l.Val[p]
+	})
+}
+
+// run executes solve(j) for every j in order, one level at a time; rows
+// within a level are independent and split across workers.
+func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
+	for k := 0; k+1 < len(ptr); k++ {
+		rows := order[ptr[k]:ptr[k+1]]
+		if len(rows) < t.minParallel {
+			for _, j := range rows {
+				solve(j)
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		nw := workers
+		if nw > len(rows) {
+			nw = len(rows)
+		}
+		for w := 0; w < nw; w++ {
+			lo := len(rows) * w / nw
+			hi := len(rows) * (w + 1) / nw
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []int) {
+				defer wg.Done()
+				for _, j := range part {
+					solve(j)
+				}
+			}(rows[lo:hi])
+		}
+		wg.Wait()
+	}
+}
