@@ -10,6 +10,7 @@ package amg
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"powerrchol/internal/sparse"
 )
@@ -40,16 +41,44 @@ type level struct {
 	// Smoothed-aggregation prolongation and its transpose; nil means the
 	// piecewise-constant prolongation implied by agg.
 	p, pt *sparse.CSC
-	// scratch
-	r, x, cr, cx []float64
 }
 
-// Preconditioner is a V-cycle AMG preconditioner implementing pcg.Preconditioner.
+// scratch holds one V-cycle's worth of work vectors: a residual per
+// level plus the coarse-grid right-hand side and correction per level.
+// Each Apply call checks one out of a pool so concurrent callers never
+// share state.
+type scratch struct {
+	r  [][]float64 // r[l]: residual on level l, length n_l
+	cr [][]float64 // cr[l]: restricted residual, length nc_l
+	cx [][]float64 // cx[l]: coarse correction, length nc_l
+}
+
+// Preconditioner is a V-cycle AMG preconditioner implementing
+// pcg.Preconditioner. After New returns, the hierarchy is read-only and
+// Apply is safe for concurrent use by multiple goroutines.
 type Preconditioner struct {
 	levels  []*level
 	coarseL [][]float64 // dense Cholesky factor of the coarsest matrix
 	coarseN int
 	sweeps  int
+	pool    sync.Pool // of *scratch
+}
+
+func (p *Preconditioner) getScratch() *scratch {
+	if s, ok := p.pool.Get().(*scratch); ok {
+		return s
+	}
+	s := &scratch{
+		r:  make([][]float64, len(p.levels)),
+		cr: make([][]float64, len(p.levels)),
+		cx: make([][]float64, len(p.levels)),
+	}
+	for i, lv := range p.levels {
+		s.r[i] = make([]float64, lv.a.Cols)
+		s.cr[i] = make([]float64, lv.nc)
+		s.cx[i] = make([]float64, lv.nc)
+	}
+	return s
 }
 
 // Levels reports the hierarchy depth (including the coarsest level).
@@ -95,13 +124,7 @@ func New(a *sparse.CSC, opt Options) (*Preconditioner, error) {
 		if nc >= cur.Cols { // no coarsening progress; stop
 			break
 		}
-		lv := &level{
-			a: cur, agg: agg, nc: nc,
-			r:  make([]float64, cur.Cols),
-			x:  make([]float64, cur.Cols),
-			cr: make([]float64, nc),
-			cx: make([]float64, nc),
-		}
+		lv := &level{a: cur, agg: agg, nc: nc}
 		if opt.SmoothedAggregation {
 			lv.p = smoothProlongation(cur, agg, nc)
 			lv.pt = lv.p.Transpose()
@@ -238,43 +261,47 @@ func galerkin(a *sparse.CSC, agg []int, nc int) *sparse.CSC {
 
 // Apply runs one V-cycle on the residual r from a zero initial guess:
 // z = V(0, r). The cycle is symmetric (forward GS pre-smoothing, backward
-// GS post-smoothing), so Apply is an SPD operator.
+// GS post-smoothing), so Apply is an SPD operator. Apply is safe for
+// concurrent use: all per-cycle work vectors come from a pool.
 func (p *Preconditioner) Apply(z, r []float64) {
-	p.cycle(0, z, r)
+	s := p.getScratch()
+	p.cycle(0, z, r, s)
+	p.pool.Put(s)
 }
 
-func (p *Preconditioner) cycle(li int, x, b []float64) {
+func (p *Preconditioner) cycle(li int, x, b []float64, sc *scratch) {
 	if li == len(p.levels) {
 		p.coarseSolve(x, b)
 		return
 	}
 	lv := p.levels[li]
 	a := lv.a
+	r, cr, cx := sc.r[li], sc.cr[li], sc.cx[li]
 	sparse.Zero(x)
 	for s := 0; s < p.sweeps; s++ {
 		gaussSeidelForward(a, x, b)
 	}
 	// residual r = b - A x
-	a.MulVec(lv.r, x)
-	for i := range lv.r {
-		lv.r[i] = b[i] - lv.r[i]
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
 	}
 	// restrict: cr = Pᵀ r
 	if lv.pt != nil {
-		lv.pt.MulVec(lv.cr, lv.r)
+		lv.pt.MulVec(cr, r)
 	} else {
-		sparse.Zero(lv.cr)
+		sparse.Zero(cr)
 		for i, ai := range lv.agg {
-			lv.cr[ai] += lv.r[i]
+			cr[ai] += r[i]
 		}
 	}
-	p.cycle(li+1, lv.cx, lv.cr)
+	p.cycle(li+1, cx, cr, sc)
 	// prolong and correct: x += P cx
 	if lv.p != nil {
-		lv.p.MulVecAdd(x, 1, lv.cx)
+		lv.p.MulVecAdd(x, 1, cx)
 	} else {
 		for i, ai := range lv.agg {
-			x[i] += lv.cx[ai]
+			x[i] += cx[ai]
 		}
 	}
 	for s := 0; s < p.sweeps; s++ {

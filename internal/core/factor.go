@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"powerrchol/internal/sparse"
 )
 
@@ -9,36 +11,75 @@ import (
 // permutation that produced it. Columns store the diagonal entry first;
 // the remaining row indices are unsorted, which the triangular solves in
 // package sparse permit.
+//
+// Apply is safe for concurrent callers: scratch vectors are drawn from a
+// pool per call, and all other state (L, Perm, the optional level
+// schedule) is read-only after construction. All randomness is confined
+// to Factorize; no RNG state survives into the solve phase.
 type Factor struct {
 	N    int
 	L    *sparse.CSC
 	Perm []int // Perm[newIdx] = oldIdx; nil means identity
 
-	work []float64
+	// tri, when non-nil, is a level-scheduled parallel triangular solver
+	// built by Parallelize. It is set once before the factor is shared
+	// and never mutated afterwards.
+	tri        *sparse.TriSolver
+	triWorkers int
+
+	pool sync.Pool // of []float64, length N
 }
 
 // NNZ returns the number of stored entries of L (the paper's |L|).
 func (f *Factor) NNZ() int { return f.L.NNZ() }
 
-// Apply computes z = Pᵀ·L⁻ᵀ·L⁻¹·P·r, the preconditioning operation of
-// PowerRChol step 4. z and r must have length N and may alias.
-func (f *Factor) Apply(z, r []float64) {
-	if f.work == nil {
-		f.work = make([]float64, f.N)
+// Parallelize precomputes a level schedule for L so that Apply runs its
+// two triangular solves across `workers` goroutines. The parallel solves
+// are bitwise identical to the serial ones (same per-row operation
+// order), so enabling parallelism never changes results. Call it once,
+// before the factor is shared between goroutines; workers <= 1 disables
+// the parallel path again.
+func (f *Factor) Parallelize(workers int) {
+	if workers <= 1 {
+		f.tri, f.triWorkers = nil, 0
+		return
 	}
-	w := f.work
+	if f.tri == nil {
+		f.tri = sparse.NewTriSolver(f.L)
+	}
+	f.triWorkers = workers
+}
+
+func (f *Factor) getWork() []float64 {
+	if w, ok := f.pool.Get().([]float64); ok && len(w) == f.N {
+		return w
+	}
+	return make([]float64, f.N)
+}
+
+// Apply computes z = Pᵀ·L⁻ᵀ·L⁻¹·P·r, the preconditioning operation of
+// PowerRChol step 4. z and r must have length N and may alias. Apply is
+// safe for concurrent use by multiple goroutines.
+func (f *Factor) Apply(z, r []float64) {
+	w := f.getWork()
 	if f.Perm == nil {
 		copy(w, r)
 	} else {
 		sparse.PermuteVecInto(w, r, f.Perm)
 	}
-	sparse.LowerSolve(f.L, w)
-	sparse.LowerTransposeSolve(f.L, w)
+	if f.tri != nil && f.triWorkers > 1 {
+		f.tri.LowerSolve(w, f.triWorkers)
+		f.tri.LowerTransposeSolve(w, f.triWorkers)
+	} else {
+		sparse.LowerSolve(f.L, w)
+		sparse.LowerTransposeSolve(f.L, w)
+	}
 	if f.Perm == nil {
 		copy(z, w)
 	} else {
 		sparse.UnpermuteVecInto(z, w, f.Perm)
 	}
+	f.pool.Put(w)
 }
 
 // ProductCSC assembles L·Lᵀ (in the permuted ordering) as a CSC matrix.

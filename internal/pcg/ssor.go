@@ -2,6 +2,7 @@ package pcg
 
 import (
 	"fmt"
+	"sync"
 
 	"powerrchol/internal/sparse"
 )
@@ -18,7 +19,7 @@ type SSOR struct {
 	a     *sparse.CSC
 	omega float64
 	diag  []float64
-	work  []float64
+	pool  sync.Pool // of []float64, length a.Rows
 }
 
 // NewSSOR builds the preconditioner; omega must lie in (0, 2), with 0
@@ -39,14 +40,20 @@ func NewSSOR(a *sparse.CSC, omega float64) (*SSOR, error) {
 			return nil, fmt.Errorf("pcg: non-positive diagonal %g at %d", v, i)
 		}
 	}
-	return &SSOR{a: a, omega: omega, diag: d, work: make([]float64, a.Rows)}, nil
+	return &SSOR{a: a, omega: omega, diag: d}, nil
 }
 
 // Apply computes z = M⁻¹·r via one forward and one backward sweep. By
 // symmetry of A, row i of the strict lower triangle is read from column i
-// (entries with index > i), so no transpose copy is needed.
+// (entries with index > i), so no transpose copy is needed. Apply is safe
+// for concurrent use: the sweep buffer is drawn from a pool per call.
 func (s *SSOR) Apply(z, r []float64) {
-	a, w, om := s.a, s.work, s.omega
+	w, ok := s.pool.Get().([]float64)
+	if !ok || len(w) != s.a.Rows {
+		w = make([]float64, s.a.Rows)
+	}
+	defer s.pool.Put(w)
+	a, om := s.a, s.omega
 	n := a.Rows
 	// forward: (D/ω + L)·w = r, traversing columns ascending and
 	// scattering column i's below-diagonal entries after w[i] is final.
