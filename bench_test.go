@@ -9,6 +9,7 @@ package powerrchol
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -169,6 +170,49 @@ func BenchmarkFig3_PowerRChol_thupg10(b *testing.B) {
 
 func BenchmarkFig3_PowerRChol_comYoutube(b *testing.B) {
 	benchSolve(b, "com-Youtube", Options{Method: MethodPowerRChol, Seed: 7})
+}
+
+// --- Batch throughput: the multi-load-pattern workload ---
+
+// BenchmarkSolveBatch reports batch throughput (solves/sec) on an
+// ibmpg-style grid at 1, 4 and NumCPU workers, so the scaling of the
+// concurrent solve path shows up in the bench trajectory. On a
+// multi-core machine the 4-worker line should sit well above the
+// 1-worker line; batch results are bit-identical either way.
+func BenchmarkSolveBatch(b *testing.B) {
+	p := benchProblem(b, "ibmpg6")
+	const batchSize = 16
+	r := rng.New(17)
+	rhs := make([][]float64, batchSize)
+	for k := range rhs {
+		v := make([]float64, len(p.B))
+		for i := range v {
+			v[i] = p.B[i] * (0.5 + r.Float64())
+		}
+		rhs[k] = v
+	}
+	workerSet := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+	for _, workers := range workerSet {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			solver, err := NewSolver(p.Sys, Options{
+				Method: MethodPowerRChol, Tol: 1e-6, MaxIter: 500, Seed: 7, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveBatch(rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "solves/sec")
+		})
+	}
 }
 
 // --- Kernel microbenchmarks backing the complexity claims ---

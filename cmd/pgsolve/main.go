@@ -10,12 +10,19 @@
 //
 // Flags select the method (-method powerrchol|rchol|lt-rchol|fegrass|
 // fegrass-ichol|amg|powerrush|direct|jacobi), tolerance and seed.
+//
+// Batch mode (-batch N) factorizes once and solves N deterministic load
+// patterns derived from the base right-hand side, fanned across a worker
+// pool (-workers, default NumCPU) via Solver.SolveBatch — the paper's
+// many-load-patterns workload. -workers also parallelizes the kernels of
+// a single solve when -batch is not given.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"powerrchol"
 	"powerrchol/internal/cases"
@@ -42,6 +49,8 @@ func run() error {
 	tol := flag.Float64("tol", 1e-6, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "PCG iteration cap")
 	seed := flag.Uint64("seed", 2024, "randomized factorization seed")
+	batch := flag.Int("batch", 0, "solve N derived load patterns through one factorization (SolveBatch)")
+	workers := flag.Int("workers", 0, "worker-pool size for -batch and parallel kernels (0 = NumCPU)")
 	outPath := flag.String("out", "", "write node voltages here (IBM .solution format; netlist input only)")
 	refPath := flag.String("ref", "", "compare against a golden .solution file (netlist input only)")
 	flag.Parse()
@@ -50,7 +59,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opt := powerrchol.Options{Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed}
+	opt := powerrchol.Options{Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed, Workers: *workers}
 
 	var (
 		sys   *graph.SDDM
@@ -130,6 +139,10 @@ func run() error {
 		return fmt.Errorf("one of -netlist, -matrix or -case is required")
 	}
 
+	if *batch > 0 {
+		return runBatch(sys, b, opt, *batch, *tol)
+	}
+
 	fmt.Printf("system: n=%d nnz=%d, solving with %v (tol %.0e)\n",
 		sys.N(), sys.NNZ(), method, *tol)
 	res, err := powerrchol.Solve(sys, b, opt)
@@ -203,5 +216,49 @@ func run() error {
 	} else if *outPath != "" || *refPath != "" {
 		return fmt.Errorf("-out/-ref require -netlist input (named nodes)")
 	}
+	return nil
+}
+
+// runBatch factorizes once and solves `count` load patterns — the base
+// right-hand side with each entry scaled by a deterministic per-pattern
+// factor in [0.5, 1.5), the shape of a multi-corner IR-drop sweep.
+func runBatch(sys *graph.SDDM, b []float64, opt powerrchol.Options, count int, tol float64) error {
+	fmt.Printf("system: n=%d nnz=%d, batch of %d patterns with %v (tol %.0e)\n",
+		sys.N(), sys.NNZ(), count, opt.Method, tol)
+	solver, err := powerrchol.NewSolver(sys, opt)
+	if err != nil {
+		return err
+	}
+	st := solver.SetupTimings()
+	fmt.Printf("reorder   %12v\n", st.Reorder)
+	fmt.Printf("factorize %12v   |L| = %d\n", st.Factorize, solver.FactorNNZ())
+
+	rhs := make([][]float64, count)
+	for k := range rhs {
+		r := rng.New(opt.Seed + uint64(k)*0x9e37 + 1)
+		p := make([]float64, len(b))
+		for i, v := range b {
+			p[i] = v * (0.5 + r.Float64())
+		}
+		rhs[k] = p
+	}
+
+	t0 := time.Now()
+	results, err := solver.SolveBatch(rhs)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	totalIters, worst := 0, 0.0
+	for _, res := range results {
+		totalIters += res.Iterations
+		if res.Residual > worst {
+			worst = res.Residual
+		}
+	}
+	fmt.Printf("batch     %12v   %d workers, %d solves, %d PCG iterations total\n",
+		elapsed, solver.BatchWorkers(), count, totalIters)
+	fmt.Printf("throughput %.1f solves/sec, worst residual %.3e\n",
+		float64(count)/elapsed.Seconds(), worst)
 	return nil
 }

@@ -49,6 +49,13 @@ func (j *Jacobi) Apply(z, r []float64) {
 type Options struct {
 	Tol     float64 // relative residual ‖b-Ax‖₂/‖b‖₂ target; default 1e-6
 	MaxIter int     // default 500, the paper's divergence cutoff
+	// Workers > 1 runs the dense vector kernels (dot, axpy, norm) across
+	// that many goroutines above sparse.ParThreshold. The reductions use
+	// deterministic blocked summation, so results are reproducible for a
+	// fixed Workers value but may differ in the last bits from the serial
+	// (Workers <= 1) path. The matrix-vector product is the caller's
+	// closure and parallelizes independently.
+	Workers int
 }
 
 // Result reports the outcome of a solve.
@@ -101,21 +108,23 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 		return nil, fmt.Errorf("pcg: initial guess has length %d, want %d", len(x0), n)
 	}
 
+	nw := opt.Workers
+
 	x := make([]float64, n)
 	r := append([]float64(nil), b...)
 	z := make([]float64, n)
 	p := make([]float64, n)
 	ap := make([]float64, n)
 
-	bnorm := sparse.Norm2(b)
+	bnorm := sparse.Norm2Par(b, nw)
 	if bnorm == 0 {
 		return &Result{X: x, Converged: true}, nil
 	}
 	if x0 != nil {
 		copy(x, x0)
 		mul(ap, x) // r = b - A·x0
-		sparse.Axpy(r, -1, ap)
-		if rel := sparse.Norm2(r) / bnorm; rel < opt.Tol {
+		sparse.AxpyPar(r, -1, ap, nw)
+		if rel := sparse.Norm2Par(r, nw) / bnorm; rel < opt.Tol {
 			return &Result{X: x, Converged: true, Residual: rel}, nil
 		}
 	}
@@ -123,22 +132,22 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 	res := &Result{}
 	m.Apply(z, r)
 	copy(p, z)
-	rz := sparse.Dot(r, z)
+	rz := sparse.DotPar(r, z, nw)
 	if rz <= 0 || math.IsNaN(rz) {
 		return nil, fmt.Errorf("%w: r'z = %g at start", ErrIndefinite, rz)
 	}
 
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		mul(ap, p)
-		pap := sparse.Dot(p, ap)
+		pap := sparse.DotPar(p, ap, nw)
 		if pap <= 0 || math.IsNaN(pap) {
 			return nil, fmt.Errorf("%w: p'Ap = %g at iteration %d", ErrIndefinite, pap, iter)
 		}
 		alpha := rz / pap
-		sparse.Axpy(x, alpha, p)
-		sparse.Axpy(r, -alpha, ap)
+		sparse.AxpyPar(x, alpha, p, nw)
+		sparse.AxpyPar(r, -alpha, ap, nw)
 
-		rel := sparse.Norm2(r) / bnorm
+		rel := sparse.Norm2Par(r, nw) / bnorm
 		res.History = append(res.History, rel)
 		res.Iterations = iter
 		res.Residual = rel
@@ -148,7 +157,7 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 		}
 
 		m.Apply(z, r)
-		rzNew := sparse.Dot(r, z)
+		rzNew := sparse.DotPar(r, z, nw)
 		if rzNew <= 0 || math.IsNaN(rzNew) {
 			return nil, fmt.Errorf("%w: r'z = %g at iteration %d", ErrIndefinite, rzNew, iter)
 		}

@@ -158,9 +158,19 @@ type Options struct {
 	DropTol float64
 	// MergeFactor overrides the PowerRush contraction threshold.
 	MergeFactor float64
-	// Workers enables goroutine-parallel matrix-vector products inside
-	// PCG when > 1. The paper's experiments are single-core; this is an
-	// opt-in extension and does not change any result, only wall-clock.
+	// Workers enables goroutine parallelism when > 1. The paper's
+	// experiments are single-core; this is an opt-in extension.
+	//
+	// In the one-shot Solve API it parallelizes the PCG kernels of a
+	// single solve: row-partitioned SpMV, level-scheduled triangular
+	// solves, and blocked vector reductions (the reductions use a fixed
+	// block size, so results are reproducible for a given Workers value
+	// but may differ in the last bits from the serial path).
+	//
+	// In the amortized Solver API it sizes the SolveBatch worker pool
+	// (0 means runtime.NumCPU()) and level-schedules the factor's
+	// triangular solves; every individual solve stays bitwise identical
+	// to the serial path regardless of Workers.
 	Workers int
 }
 
@@ -303,6 +313,9 @@ func solveRandomized(sys *graph.SDDM, b []float64, opt Options) (*Result, error)
 	}
 	res.Timings.Factorize = time.Since(t0)
 	res.FactorNNZ = f.NNZ()
+	if opt.Workers > 1 {
+		f.Parallelize(opt.Workers)
+	}
 
 	return runPCG(sys, b, f, opt, res, nil)
 }
@@ -337,6 +350,9 @@ func solveFeGRASS(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	}
 	res.Timings.Factorize = time.Since(t0)
 	res.FactorNNZ = f.NNZ()
+	if opt.Workers > 1 {
+		f.Parallelize(opt.Workers)
+	}
 
 	return runPCG(sys, b, f, opt, res, nil)
 }
@@ -380,6 +396,9 @@ func solveDirect(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	}
 	res.Timings.Factorize = time.Since(t0)
 	res.FactorNNZ = f.NNZ()
+	if opt.Workers > 1 {
+		f.Parallelize(opt.Workers)
+	}
 
 	t0 = time.Now()
 	x := make([]float64, sys.N())
@@ -437,7 +456,7 @@ func runPCG(sys *graph.SDDM, b []float64, m pcg.Preconditioner, opt Options, res
 		workers := opt.Workers
 		mul = func(y, x []float64) { csr.MulVecParallel(y, x, workers) }
 	}
-	pres, err := pcg.SolveOp(sys.N(), mul, b, m, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter})
+	pres, err := pcg.SolveOp(sys.N(), mul, b, m, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Workers: opt.Workers})
 	if err != nil {
 		return nil, err
 	}
