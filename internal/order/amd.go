@@ -124,6 +124,7 @@ func AMD(g *graph.Graph) []int {
 
 	lp := make([]int32, 0, 64)
 	hashBuckets := make(map[uint64][]int32, 64)
+	hashKeys := make([]uint64, 0, 64) // bucket keys in first-seen order
 	minDeg := 0
 	emitted := 0
 
@@ -202,6 +203,7 @@ func AMD(g *graph.Graph) []int {
 		// Second pass: absorb dominated elements, recompute approximate
 		// degrees, and hash for supervariable detection.
 		hashBuckets = map[uint64][]int32{}
+		hashKeys = hashKeys[:0]
 		for _, iv := range lp {
 			i := int(iv)
 			d := lpSize - int(nv[i])
@@ -256,13 +258,19 @@ func AMD(g *graph.Graph) []int {
 				minDeg = d
 			}
 			hh := h*0x9e3779b97f4a7c15 + uint64(len(varAdj[i]))<<32 + uint64(len(elemAdj[i]))
+			if len(hashBuckets[hh]) == 0 {
+				hashKeys = append(hashKeys, hh)
+			}
 			hashBuckets[hh] = append(hashBuckets[hh], iv)
 		}
 
 		// Supervariable merging: nodes with identical pruned adjacency are
 		// indistinguishable for the remaining elimination; fold them into
-		// one representative.
-		for _, group := range hashBuckets {
+		// one representative. Buckets are visited in first-seen order, never
+		// map order: merges mutate the degree lists, so map-order iteration
+		// would make the pivot sequence (and the ordering) vary run to run.
+		for _, hh := range hashKeys {
+			group := hashBuckets[hh]
 			if len(group) < 2 {
 				continue
 			}

@@ -219,11 +219,14 @@ func Generate(spec Spec) (*Grid, error) {
 			}
 		}
 	}
-	// Vias wherever a node exists on two adjacent layers.
+	// Vias wherever a node exists on two adjacent layers. Iterate by node
+	// index, not over the id map: map order is randomized per run, and the
+	// edge insertion order (and later RNG consumption order) must be
+	// deterministic for a given Seed.
 	viaW := 1 / spec.ViaRes
-	for k, u := range id {
-		if int(k.l)+1 < spec.Layers {
-			if v, ok := id[key{k.l + 1, k.x, k.y}]; ok {
+	for u := 0; u < n; u++ {
+		if int(layerOf[u])+1 < spec.Layers {
+			if v, ok := id[key{int32(layerOf[u]) + 1, xs[u], ys[u]}]; ok {
 				g.MustAddEdge(u, v, viaW)
 			}
 		}
@@ -247,11 +250,11 @@ func Generate(spec Spec) (*Grid, error) {
 	b := make([]float64, n)
 	padW := 1 / spec.PadRes
 	var pads []int
-	for k, u := range id {
-		if int(k.l) != top {
+	for u := 0; u < n; u++ {
+		if int(layerOf[u]) != top {
 			continue
 		}
-		if int(k.x)%spec.PadPitch == 0 && int(k.y)%spec.PadPitch == 0 {
+		if int(xs[u])%spec.PadPitch == 0 && int(ys[u])%spec.PadPitch == 0 {
 			d[u] += padW
 			b[u] += padW * spec.Vdd
 			pads = append(pads, u)
@@ -265,10 +268,11 @@ func Generate(spec Spec) (*Grid, error) {
 		pads = append(pads, u)
 	}
 
-	// Current loads on bottom-layer nodes.
+	// Current loads on bottom-layer nodes. Node-index order matters here:
+	// it fixes which RNG draw lands on which node.
 	loads := make([]float64, n)
-	for k, u := range id {
-		if k.l != 0 {
+	for u := 0; u < n; u++ {
+		if layerOf[u] != 0 {
 			continue
 		}
 		if r.Float64() < spec.LoadFrac {
