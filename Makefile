@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet bench cover tables examples clean
+.PHONY: all check build test vet race bench cover tables examples clean
 
-all: build vet test
+all: check
+
+# check is the default CI gate: tier-1 build+tests, vet, and the race
+# detector over the short case set.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +20,13 @@ test:
 # Quick mode skips the multi-second suite-level claim checks.
 test-short:
 	$(GO) test -short ./...
+
+# race runs the tier-1 tests under the race detector with the short case
+# set. The concurrency suite (concurrency_test.go, determinism_test.go)
+# exercises SolveBatch and concurrent preconditioner Apply across every
+# method, so scratch-sharing bugs surface here.
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,104 @@
+package powerrchol
+
+import (
+	"math"
+	"testing"
+)
+
+// Determinism regression suite. The contract: all randomness is spent at
+// factorization time (NewSolver), seeded by Options.Seed; the solve
+// phase consumes no RNG state, and the worker count never changes
+// results — parallel triangular solves and batch fan-out are bitwise
+// equivalent to the serial path.
+
+// TestSolveBatchDeterministicAcrossWorkers: with a fixed seed, the batch
+// results must be bit-identical for every Workers setting.
+func TestSolveBatchDeterministicAcrossWorkers(t *testing.T) {
+	s, _, _ := testProblem(t)
+	rhs := batchRHS(s.N(), 5, 77)
+	for _, m := range []Method{MethodPowerRChol, MethodRChol, MethodAMG, MethodFeGRASSIChol} {
+		var ref []*Result
+		for _, workers := range []int{1, 2, 4, 8} {
+			solver, err := NewSolver(s, Options{Method: m, Tol: 1e-8, Seed: 42, Workers: workers})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			got, err := solver.SolveBatch(rhs)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, workers, err)
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range got {
+				if got[i].Iterations != ref[i].Iterations {
+					t.Errorf("%v workers=%d: rhs %d took %d iterations, workers=1 took %d",
+						m, workers, i, got[i].Iterations, ref[i].Iterations)
+				}
+				for j := range got[i].X {
+					if math.Float64bits(got[i].X[j]) != math.Float64bits(ref[i].X[j]) {
+						t.Fatalf("%v workers=%d: rhs %d not bit-identical to workers=1 at index %d (%v vs %v)",
+							m, workers, i, j, got[i].X[j], ref[i].X[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizationSeedIsReproducible: the same seed must produce the
+// same factor (|L| and solve trajectory), for both randomized variants.
+func TestFactorizationSeedIsReproducible(t *testing.T) {
+	s, b, _ := testProblem(t)
+	for _, m := range []Method{MethodPowerRChol, MethodRChol} {
+		s1, err := NewSolver(s, Options{Method: m, Tol: 1e-8, Seed: 123})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewSolver(s, Options{Method: m, Tol: 1e-8, Seed: 123})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.FactorNNZ() != s2.FactorNNZ() {
+			t.Fatalf("%v: same seed, different |L|: %d vs %d", m, s1.FactorNNZ(), s2.FactorNNZ())
+		}
+		r1, err := s1.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Iterations != r2.Iterations {
+			t.Fatalf("%v: same seed, different iteration counts: %d vs %d", m, r1.Iterations, r2.Iterations)
+		}
+		assertBitwise(t, "same-seed solve", r1.X, r2.X)
+	}
+}
+
+// TestRepeatedSolveIsStateless: solving the same rhs twice on one solver
+// must give the exact same answer — Apply's pooled scratch must not let
+// one call's state leak into the next.
+func TestRepeatedSolveIsStateless(t *testing.T) {
+	s, b, _ := testProblem(t)
+	for _, m := range batchMethods {
+		solver, err := NewSolver(s, Options{Method: m, Tol: 1e-8, MaxIter: 3000, Seed: 9})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		r1, err := solver.Solve(b)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		r2, err := solver.Solve(b)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if r1.Iterations != r2.Iterations {
+			t.Fatalf("%v: repeated solve changed iteration count: %d vs %d", m, r1.Iterations, r2.Iterations)
+		}
+		assertBitwise(t, m.String()+" repeated solve", r1.X, r2.X)
+	}
+}
