@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench cover tables examples clean
+.PHONY: all check build test vet race fuzz bench cover tables examples clean
 
 all: check
 
-# check is the default CI gate: tier-1 build+tests, vet, and the race
-# detector over the short case set.
-check: build vet test race
+# check is the default CI gate: tier-1 build+tests, vet, the race
+# detector over the short case set, and a short-budget fuzz pass.
+check: build vet test race fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ test-short:
 # method, so scratch-sharing bugs surface here.
 race:
 	$(GO) test -race -short ./...
+
+# Short-budget native fuzzing of the input boundaries: Matrix Market
+# parsing, SDDM construction, and factor deserialization. Each target runs
+# a few seconds — enough for regressions, not a soak; raise FUZZTIME for a
+# longer hunt.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzSplitCSC$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzReadFactor$$' -fuzztime=$(FUZZTIME) ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

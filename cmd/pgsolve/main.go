@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,9 +34,24 @@ import (
 	"powerrchol/internal/sparse"
 )
 
+// Exit codes: 0 success, 1 bad input or I/O failure, 2 the solver gave up
+// (recovery ladder exhausted, iteration cap, or timeout).
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pgsolve:", err)
+		var se *powerrchol.SolveError
+		if errors.As(err, &se) {
+			fmt.Fprintln(os.Stderr, "attempt trail:")
+			for _, a := range se.Attempts {
+				fmt.Fprintf(os.Stderr, "  %s\n", a.String())
+			}
+		}
+		if se != nil ||
+			errors.Is(err, powerrchol.ErrNotConverged) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, context.Canceled) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -49,6 +66,9 @@ func run() error {
 	tol := flag.Float64("tol", 1e-6, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "PCG iteration cap")
 	seed := flag.Uint64("seed", 2024, "randomized factorization seed")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+	retries := flag.Int("retries", 1, "solve attempts before giving up (recovery ladder; 1 = no retry)")
+	escalate := flag.Bool("escalate", true, "with -retries > 1, escalate to more robust methods on retry")
 	batch := flag.Int("batch", 0, "solve N derived load patterns through one factorization (SolveBatch)")
 	workers := flag.Int("workers", 0, "worker-pool size for -batch and parallel kernels (0 = NumCPU)")
 	outPath := flag.String("out", "", "write node voltages here (IBM .solution format; netlist input only)")
@@ -59,7 +79,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opt := powerrchol.Options{Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed, Workers: *workers}
+	opt := powerrchol.Options{
+		Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed, Workers: *workers,
+		Retry: powerrchol.RetryPolicy{MaxAttempts: *retries, Escalate: *escalate},
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var (
 		sys   *graph.SDDM
@@ -140,12 +170,12 @@ func run() error {
 	}
 
 	if *batch > 0 {
-		return runBatch(sys, b, opt, *batch, *tol)
+		return runBatch(ctx, sys, b, opt, *batch, *tol)
 	}
 
 	fmt.Printf("system: n=%d nnz=%d, solving with %v (tol %.0e)\n",
 		sys.N(), sys.NNZ(), method, *tol)
-	res, err := powerrchol.Solve(sys, b, opt)
+	res, err := powerrchol.SolveContext(ctx, sys, b, opt)
 	if err != nil && res == nil {
 		return err
 	}
@@ -154,6 +184,12 @@ func run() error {
 	fmt.Printf("iterate   %12v   %d iterations\n", res.Timings.Iterate, res.Iterations)
 	fmt.Printf("total     %12v   residual %.3e converged=%v\n",
 		res.Timings.Total(), res.Residual, res.Converged)
+	if len(res.Attempts) > 1 {
+		fmt.Printf("recovered after %d attempts:\n", len(res.Attempts))
+		for _, a := range res.Attempts {
+			fmt.Printf("  %s\n", a.String())
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -222,12 +258,18 @@ func run() error {
 // runBatch factorizes once and solves `count` load patterns — the base
 // right-hand side with each entry scaled by a deterministic per-pattern
 // factor in [0.5, 1.5), the shape of a multi-corner IR-drop sweep.
-func runBatch(sys *graph.SDDM, b []float64, opt powerrchol.Options, count int, tol float64) error {
+func runBatch(ctx context.Context, sys *graph.SDDM, b []float64, opt powerrchol.Options, count int, tol float64) error {
 	fmt.Printf("system: n=%d nnz=%d, batch of %d patterns with %v (tol %.0e)\n",
 		sys.N(), sys.NNZ(), count, opt.Method, tol)
-	solver, err := powerrchol.NewSolver(sys, opt)
+	solver, err := powerrchol.NewSolverContext(ctx, sys, opt)
 	if err != nil {
 		return err
+	}
+	if sa := solver.SetupAttempts(); len(sa) > 1 {
+		fmt.Printf("setup recovered after %d attempts:\n", len(sa))
+		for _, a := range sa {
+			fmt.Printf("  %s\n", a.String())
+		}
 	}
 	st := solver.SetupTimings()
 	fmt.Printf("reorder   %12v\n", st.Reorder)
@@ -244,9 +286,17 @@ func runBatch(sys *graph.SDDM, b []float64, opt powerrchol.Options, count int, t
 	}
 
 	t0 := time.Now()
-	results, err := solver.SolveBatch(rhs)
+	results, err := solver.SolveBatchContext(ctx, rhs)
 	elapsed := time.Since(t0)
 	if err != nil {
+		var be *powerrchol.BatchError
+		if errors.As(err, &be) {
+			for k, e := range be.Errs {
+				if e != nil {
+					fmt.Fprintf(os.Stderr, "pattern %d: %v\n", k, e)
+				}
+			}
+		}
 		return err
 	}
 	totalIters, worst := 0, 0.0

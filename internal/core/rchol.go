@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -74,7 +75,20 @@ type Options struct {
 	// down its variance: a denser but stronger preconditioner. 0 or 1 is
 	// the paper's single-sample algorithm.
 	Samples int
+	// Ctx, when non-nil, is polled every cancelCheckStride eliminations;
+	// a cancelled context aborts the factorization with an error wrapping
+	// ctx.Err(). Nil means never cancelled.
+	Ctx context.Context
+	// PivotPerturb, when non-nil, rewrites each pivot d_k before it is
+	// validated. It exists solely for deterministic fault injection in
+	// tests (see internal/faultinject); production code leaves it nil.
+	PivotPerturb func(step int, pivot float64) float64
 }
+
+// cancelCheckStride is how many eliminations run between context polls:
+// frequent enough that cancellation lands within microseconds even on
+// million-node grids, rare enough to stay invisible in profiles.
+const cancelCheckStride = 1024
 
 // DefaultBuckets is the counting-sort resolution used when Options.Buckets
 // is zero. 256 buckets quantize weights to under 0.4% relative error,
@@ -181,6 +195,11 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 	)
 
 	for k := 0; k < n; k++ {
+		if opt.Ctx != nil && k%cancelCheckStride == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: factorization cancelled at pivot %d of %d: %w", k, n, err)
+			}
+		}
 		// Gather and coalesce the live neighbor list of k.
 		nbr = nbr[:0]
 		wts = wts[:0]
@@ -204,6 +223,9 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 			wsum += w
 		}
 		dk := wsum + d[k]
+		if opt.PivotPerturb != nil {
+			dk = opt.PivotPerturb(k, dk)
+		}
 		if !(dk > 0) || math.IsInf(dk, 0) || math.IsNaN(dk) {
 			return nil, fmt.Errorf("%w: pivot %g at elimination step %d", ErrBreakdown, dk, k)
 		}

@@ -100,16 +100,37 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 	if err := binary.Read(br, binary.LittleEndian, &hasPerm); err != nil {
 		return nil, err
 	}
-	const limit = 1 << 40 // refuse absurd sizes before allocating
+	const limit = 1 << 40 // refuse absurd sizes outright
 	if n64 > limit || nnz64 > limit {
 		return nil, fmt.Errorf("core: implausible factor dimensions n=%d nnz=%d", n64, nnz64)
 	}
 	n, nnz := int(n64), int(nnz64)
 
+	// Grow the destination slices in bounded chunks rather than allocating
+	// len-from-header up front: a forged header claiming 2^39 entries over
+	// a 100-byte body must fail at EOF, not OOM the process.
+	const chunk = 1 << 16
 	readU64s := func(k int) ([]uint64, error) {
-		out := make([]uint64, k)
-		if err := binary.Read(br, binary.LittleEndian, out); err != nil {
-			return nil, err
+		out := make([]uint64, 0, min(k, chunk))
+		buf := make([]uint64, min(k, chunk))
+		for len(out) < k {
+			b := buf[:min(k-len(out), chunk)]
+			if err := binary.Read(br, binary.LittleEndian, b); err != nil {
+				return nil, err
+			}
+			out = append(out, b...)
+		}
+		return out, nil
+	}
+	readF64s := func(k int) ([]float64, error) {
+		out := make([]float64, 0, min(k, chunk))
+		buf := make([]float64, min(k, chunk))
+		for len(out) < k {
+			b := buf[:min(k-len(out), chunk)]
+			if err := binary.Read(br, binary.LittleEndian, b); err != nil {
+				return nil, err
+			}
+			out = append(out, b...)
 		}
 		return out, nil
 	}
@@ -121,8 +142,8 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 	if err != nil {
 		return nil, err
 	}
-	val := make([]float64, nnz)
-	if err := binary.Read(br, binary.LittleEndian, val); err != nil {
+	val, err := readF64s(nnz)
+	if err != nil {
 		return nil, err
 	}
 

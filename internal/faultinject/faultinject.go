@@ -1,0 +1,118 @@
+// Package faultinject provides deterministic, seed-driven fault
+// injectors for testing the solver's recovery ladder. The randomized
+// factorizations fail with probability too low to observe in a test
+// suite — and a test that waits for a natural breakdown proves nothing
+// about the recovery path. These wrappers force each failure mode on
+// demand, reproducibly:
+//
+//   - pivot perturbation (via core.Options.PivotPerturb) forces
+//     factorization breakdown or NaN propagation at a chosen
+//     elimination step;
+//   - a Preconditioner wrapper corrupts Apply to force PCG
+//     indefiniteness, NaN propagation, or stagnation.
+//
+// Everything is driven by explicit seeds and counters: the same
+// injector run twice produces the same corruption, so recovery tests
+// are replayable and race-detector clean (call counters are atomic).
+package faultinject
+
+import (
+	"math"
+	"sync/atomic"
+
+	"powerrchol/internal/pcg"
+	"powerrchol/internal/rng"
+)
+
+// NegativePivot returns a core.Options.PivotPerturb hook that replaces
+// the pivot at elimination step `step` with a negative value, forcing
+// core.ErrBreakdown exactly there.
+func NegativePivot(step int) func(k int, pivot float64) float64 {
+	return func(k int, pivot float64) float64 {
+		if k == step {
+			return -pivot
+		}
+		return pivot
+	}
+}
+
+// NaNPivot returns a PivotPerturb hook that poisons the pivot at
+// elimination step `step` with NaN, modelling numerical garbage flowing
+// into the elimination.
+func NaNPivot(step int) func(k int, pivot float64) float64 {
+	return func(k int, pivot float64) float64 {
+		if k == step {
+			return math.NaN()
+		}
+		return pivot
+	}
+}
+
+// Mode selects how the Preconditioner wrapper corrupts Apply.
+type Mode int
+
+const (
+	// ModeIndefinite flips the sign of the preconditioned residual, so
+	// rᵀz < 0 and PCG reports ErrIndefinite on the next iteration.
+	ModeIndefinite Mode = iota
+	// ModeNaN plants a NaN in the preconditioned residual; PCG's NaN
+	// guards report ErrIndefinite.
+	ModeNaN
+	// ModeStagnate replaces the preconditioned residual with a
+	// deterministic pseudo-random direction (sign-corrected so rᵀz > 0
+	// keeps CG formally alive). Each line search still reduces the
+	// A-norm error, but only by O(1/n) per step, so the residual stalls
+	// and the stagnation detector fires.
+	ModeStagnate
+)
+
+// Preconditioner wraps an inner pcg.Preconditioner and corrupts Apply
+// according to Mode, starting with call number After (0-based). It is
+// safe for concurrent use if the inner preconditioner is.
+type Preconditioner struct {
+	Inner pcg.Preconditioner
+	Mode  Mode
+	// After is the first Apply call (0-based) to corrupt; earlier calls
+	// pass through untouched.
+	After int
+	// Seed drives ModeStagnate's deterministic noise.
+	Seed uint64
+
+	calls atomic.Int64
+}
+
+// Calls reports how many times Apply has run — test assertions use it
+// to confirm the injector actually fired.
+func (p *Preconditioner) Calls() int { return int(p.calls.Load()) }
+
+// Apply implements pcg.Preconditioner.
+func (p *Preconditioner) Apply(z, r []float64) {
+	call := int(p.calls.Add(1)) - 1
+	p.Inner.Apply(z, r)
+	if call < p.After {
+		return
+	}
+	switch p.Mode {
+	case ModeIndefinite:
+		for i := range z {
+			z[i] = -r[i]
+		}
+	case ModeNaN:
+		if len(z) > 0 {
+			z[0] = math.NaN()
+		}
+	case ModeStagnate:
+		// Deterministic per-call noise direction, sign-corrected against r.
+		rnd := rng.New(p.Seed + uint64(call)*0x9e3779b97f4a7c15)
+		dot := 0.0
+		for i := range z {
+			z[i] = rnd.Float64() - 0.5
+			dot += z[i] * r[i]
+		}
+		if dot < 0 {
+			for i := range z {
+				z[i] = -z[i]
+			}
+		}
+	}
+}

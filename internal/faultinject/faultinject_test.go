@@ -1,0 +1,82 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+
+	"powerrchol/internal/pcg"
+)
+
+func TestPivotHooks(t *testing.T) {
+	neg := NegativePivot(3)
+	if got := neg(3, 2.5); got != -2.5 {
+		t.Fatalf("NegativePivot at the step: got %g", got)
+	}
+	if got := neg(2, 2.5); got != 2.5 {
+		t.Fatalf("NegativePivot off the step: got %g", got)
+	}
+	nan := NaNPivot(0)
+	if got := nan(0, 1); !math.IsNaN(got) {
+		t.Fatalf("NaNPivot at the step: got %g", got)
+	}
+	if got := nan(1, 1); got != 1 {
+		t.Fatalf("NaNPivot off the step: got %g", got)
+	}
+}
+
+func TestPreconditionerModes(t *testing.T) {
+	r := []float64{1, -2, 3}
+	z := make([]float64, 3)
+
+	ind := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeIndefinite}
+	ind.Apply(z, r)
+	for i := range z {
+		if z[i] != -r[i] {
+			t.Fatalf("ModeIndefinite: z=%v", z)
+		}
+	}
+	if ind.Calls() != 1 {
+		t.Fatalf("Calls = %d, want 1", ind.Calls())
+	}
+
+	nan := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeNaN}
+	nan.Apply(z, r)
+	if !math.IsNaN(z[0]) {
+		t.Fatalf("ModeNaN: z=%v", z)
+	}
+
+	// After delays the corruption.
+	late := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeIndefinite, After: 1}
+	late.Apply(z, r)
+	for i := range z {
+		if z[i] != r[i] {
+			t.Fatalf("After=1 corrupted the first call: z=%v", z)
+		}
+	}
+	late.Apply(z, r)
+	if z[0] != -r[0] {
+		t.Fatalf("After=1 did not corrupt the second call: z=%v", z)
+	}
+}
+
+func TestStagnateIsDeterministicAndPositive(t *testing.T) {
+	r := []float64{0.3, -1.2, 0.8, 2.1}
+	z1 := make([]float64, 4)
+	z2 := make([]float64, 4)
+	a := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeStagnate, Seed: 7}
+	b := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeStagnate, Seed: 7}
+	for call := 0; call < 5; call++ {
+		a.Apply(z1, r)
+		b.Apply(z2, r)
+		dot := 0.0
+		for i := range z1 {
+			if z1[i] != z2[i] {
+				t.Fatalf("call %d: same seed, different noise", call)
+			}
+			dot += z1[i] * r[i]
+		}
+		if dot <= 0 {
+			t.Fatalf("call %d: r'z = %g, want > 0 (must not trip the indefiniteness guard)", call, dot)
+		}
+	}
+}

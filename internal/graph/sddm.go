@@ -73,6 +73,11 @@ func SplitCSC(a *sparse.CSC, tol float64) (*SDDM, error) {
 			i := a.RowIdx[p]
 			v := a.Val[p]
 			switch {
+			// Reject non-finite entries first: NaN fails every ordered
+			// comparison, so it would otherwise slip through both the
+			// M-matrix check and the dominance checks below.
+			case math.IsNaN(v) || math.IsInf(v, 0):
+				return nil, fmt.Errorf("graph: non-finite entry %g at (%d,%d)", v, i, j)
 			case i == j:
 				diag[j] = v
 			case v > 0:

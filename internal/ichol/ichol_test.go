@@ -1,6 +1,7 @@
 package ichol
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -113,5 +114,34 @@ func TestWithPermutation(t *testing.T) {
 func TestRejectsNonSquare(t *testing.T) {
 	if _, err := Factorize(sparse.NewCSC(2, 3, 0), nil, Options{}); err == nil {
 		t.Fatal("non-square accepted")
+	}
+}
+
+func TestShiftRetryExhaustion(t *testing.T) {
+	// [[1,2],[2,1]] is symmetric indefinite: the pivot at column 1 is
+	// 1 - 4 = -3. The Manteuffel shift scales the diagonal by (1+shift),
+	// which repairs it only once shift > 1 — the sixth entry of the
+	// 1e-3·4^k ladder. A budget of 2 retries must therefore exhaust.
+	c := sparse.NewCOO(2, 2, 4)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 2)
+	a := c.ToCSC()
+
+	_, err := Factorize(a, nil, Options{MaxShiftRetries: 2})
+	if err == nil {
+		t.Fatal("indefinite matrix factorized within 2 shift retries")
+	}
+	if !strings.Contains(err.Error(), "breakdown persists after 2 shift retries") {
+		t.Fatalf("exhaustion error does not report the retry budget: %v", err)
+	}
+	if !strings.Contains(err.Error(), "non-positive pivot") {
+		t.Fatalf("exhaustion error does not wrap the pivot failure: %v", err)
+	}
+
+	// The default budget (8) reaches shift > 1 and succeeds.
+	if _, err := Factorize(a, nil, Options{}); err != nil {
+		t.Fatalf("default retry budget failed to repair the pivot: %v", err)
 	}
 }

@@ -41,6 +41,11 @@ func ConditionEstimate(a *sparse.CSC, m Preconditioner, iters int, seed uint64) 
 	m.Apply(z, r)
 	copy(p, z)
 	rz := sparse.Dot(r, z)
+	// NaN fails every ordered comparison, so test non-finiteness explicitly
+	// or a poisoned preconditioner sails through the definiteness guard.
+	if math.IsNaN(rz) || math.IsInf(rz, 0) {
+		return 0, fmt.Errorf("pcg: non-finite r'z=%g in ConditionEstimate", rz)
+	}
 	if rz <= 0 {
 		return 0, errors.New("pcg: preconditioner not positive definite in ConditionEstimate")
 	}
@@ -50,6 +55,9 @@ func ConditionEstimate(a *sparse.CSC, m Preconditioner, iters int, seed uint64) 
 	for k := 0; k < iters; k++ {
 		a.MulVec(ap, p)
 		pap := sparse.Dot(p, ap)
+		if math.IsNaN(pap) || math.IsInf(pap, 0) {
+			return 0, fmt.Errorf("pcg: non-finite curvature p'Ap=%g in ConditionEstimate", pap)
+		}
 		if pap <= 0 {
 			return 0, fmt.Errorf("pcg: operator not positive definite (p'Ap=%g)", pap)
 		}
@@ -61,7 +69,10 @@ func ConditionEstimate(a *sparse.CSC, m Preconditioner, iters int, seed uint64) 
 		// Stop once the residual reaches rounding level: Lanczos vectors
 		// past this point are numerical noise and produce spurious Ritz
 		// values (machine-epsilon² relative to the starting residual).
-		if rzNew <= 1e-28*rz0 || rzNew <= 0 {
+		// Non-finite rz means the recurrence has collapsed (near-singular
+		// operator): truncate to the coefficients gathered so far.
+		if rzNew <= 1e-28*rz0 || rzNew <= 0 ||
+			math.IsNaN(rzNew) || math.IsInf(rzNew, 0) {
 			break
 		}
 		beta := rzNew / rz

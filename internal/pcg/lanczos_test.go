@@ -99,3 +99,51 @@ func TestConditionEstimateRejectsIndefinite(t *testing.T) {
 		t.Fatal("negative definite matrix accepted")
 	}
 }
+
+func TestConditionEstimateSingularLaplacian(t *testing.T) {
+	// An ungrounded path-graph Laplacian: row sums are exactly zero, so
+	// the matrix is singular (nullspace = constants). The estimate must
+	// not panic or return garbage — either an error or a huge κ (the
+	// smallest Ritz value approaches the zero eigenvalue from above).
+	const n = 50
+	c := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		if i > 0 {
+			c.Add(i, i-1, -1)
+			d++
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+			d++
+		}
+		c.Add(i, i, d)
+	}
+	kappa, err := ConditionEstimate(c.ToCSC(), nil, n, 7)
+	if err == nil {
+		if math.IsNaN(kappa) || math.IsInf(kappa, 0) {
+			t.Fatalf("singular system produced non-finite estimate %g", kappa)
+		}
+		if kappa < 1e2 {
+			t.Fatalf("singular system reported a benign κ = %g", kappa)
+		}
+	}
+}
+
+// nanPrecond poisons the preconditioned residual with NaN.
+type nanPrecond struct{}
+
+func (nanPrecond) Apply(z, r []float64) {
+	copy(z, r)
+	z[0] = math.NaN()
+}
+
+func TestConditionEstimateRejectsNaNPreconditioner(t *testing.T) {
+	c := sparse.NewCOO(3, 3, 3)
+	for i := 0; i < 3; i++ {
+		c.Add(i, i, 1)
+	}
+	if _, err := ConditionEstimate(c.ToCSC(), nanPrecond{}, 10, 1); err == nil {
+		t.Fatal("NaN-producing preconditioner accepted")
+	}
+}

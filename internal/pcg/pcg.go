@@ -3,6 +3,7 @@
 package pcg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,20 +57,55 @@ type Options struct {
 	// (Workers <= 1) path. The matrix-vector product is the caller's
 	// closure and parallelizes independently.
 	Workers int
+
+	// Ctx, when non-nil, is checked once per iteration; on cancellation
+	// the solve stops and returns the best iterate found so far with an
+	// error wrapping ctx.Err(). Nil means never cancelled.
+	Ctx context.Context
+
+	// StagnationWindow > 0 enables stagnation detection: the solve stops
+	// with ErrStagnated when the best relative residual fails to shrink
+	// by at least a factor StagnationFactor over StagnationWindow
+	// consecutive iterations. The detector never alters the iteration
+	// arithmetic — a run that would have converged is bitwise unchanged.
+	StagnationWindow int
+	// StagnationFactor is the required residual reduction per window;
+	// 0 means 0.5 (the best residual must at least halve every window).
+	StagnationFactor float64
+	// DivergenceFactor > 0 enables divergence detection: the solve stops
+	// with ErrDiverged when the current relative residual exceeds
+	// DivergenceFactor times the best residual seen so far.
+	DivergenceFactor float64
 }
 
-// Result reports the outcome of a solve.
+// Result reports the outcome of a solve. On convergence X is the final
+// iterate; on any early stop (iteration cap, stagnation, divergence,
+// cancellation) X is the BEST iterate seen — the one with the smallest
+// relative residual, reported in Residual and BestIteration — not the
+// last, which on a failing run can be arbitrarily worse.
 type Result struct {
 	X          []float64
 	Iterations int
-	Residual   float64 // final relative residual
+	Residual   float64 // relative residual of X
 	Converged  bool
 	History    []float64 // relative residual after each iteration
+	// BestIteration is the iteration that produced X when the solve
+	// stopped early (0 on a converged run: X is simply the final iterate).
+	BestIteration int
 }
 
 // ErrIndefinite is returned when pᵀAp or rᵀz becomes non-positive,
 // indicating a non-SPD operator or preconditioner.
 var ErrIndefinite = errors.New("pcg: operator or preconditioner is not positive definite")
+
+// ErrStagnated is returned when stagnation detection is enabled and the
+// residual stops improving; the Result still carries the best iterate.
+var ErrStagnated = errors.New("pcg: residual stagnated")
+
+// ErrDiverged is returned when divergence detection is enabled and the
+// residual grows past the guard factor; the Result still carries the
+// best iterate.
+var ErrDiverged = errors.New("pcg: residual diverged")
 
 // Solve runs PCG on A·x = b from a zero initial guess. A must be
 // symmetric positive definite, stored with both triangles.
@@ -109,6 +145,10 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 	}
 
 	nw := opt.Workers
+	stagFactor := opt.StagnationFactor
+	if stagFactor == 0 {
+		stagFactor = 0.5
+	}
 
 	x := make([]float64, n)
 	r := append([]float64(nil), b...)
@@ -117,6 +157,9 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 	ap := make([]float64, n)
 
 	bnorm := sparse.Norm2Par(b, nw)
+	if math.IsNaN(bnorm) || math.IsInf(bnorm, 0) {
+		return nil, fmt.Errorf("pcg: right-hand side contains non-finite values")
+	}
 	if bnorm == 0 {
 		return &Result{X: x, Converged: true}, nil
 	}
@@ -137,7 +180,35 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 		return nil, fmt.Errorf("%w: r'z = %g at start", ErrIndefinite, rz)
 	}
 
+	// Best-iterate tracking: an early-stopped run (cap, stagnation,
+	// divergence, cancellation) hands back the iterate with the smallest
+	// residual rather than whatever the last step produced. winBest is a
+	// ring buffer of best-so-far values used by the stagnation window.
+	best := math.Inf(1)
+	bestIter := 0
+	var bestX []float64
+	var winBest []float64
+	if opt.StagnationWindow > 0 {
+		winBest = make([]float64, opt.StagnationWindow)
+	}
+	// finishBest points the result at the best iterate for early stops.
+	finishBest := func() {
+		if bestX != nil {
+			res.X = bestX
+			res.Residual = best
+			res.BestIteration = bestIter
+		} else {
+			res.X = x
+		}
+	}
+
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				finishBest()
+				return res, fmt.Errorf("pcg: solve cancelled at iteration %d: %w", iter, err)
+			}
+		}
 		mul(ap, p)
 		pap := sparse.DotPar(p, ap, nw)
 		if pap <= 0 || math.IsNaN(pap) {
@@ -151,9 +222,29 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 		res.History = append(res.History, rel)
 		res.Iterations = iter
 		res.Residual = rel
+		if rel < best {
+			best, bestIter = rel, iter
+			if bestX == nil {
+				bestX = make([]float64, n)
+			}
+			copy(bestX, x)
+		}
 		if rel < opt.Tol {
 			res.Converged = true
 			break
+		}
+		if opt.DivergenceFactor > 0 && rel > opt.DivergenceFactor*best {
+			finishBest()
+			return res, fmt.Errorf("%w: relative residual %.3e at iteration %d exceeds %g× the best %.3e",
+				ErrDiverged, rel, iter, opt.DivergenceFactor, best)
+		}
+		if w := opt.StagnationWindow; w > 0 {
+			if iter > w && best > stagFactor*winBest[iter%w] {
+				finishBest()
+				return res, fmt.Errorf("%w: best relative residual improved only %.3e → %.3e over the last %d iterations (need a factor %g)",
+					ErrStagnated, winBest[iter%w], best, w, stagFactor)
+			}
+			winBest[iter%w] = best
 		}
 
 		m.Apply(z, r)
@@ -167,6 +258,11 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	res.X = x
+	if res.Converged {
+		res.X = x
+		res.BestIteration = res.Iterations
+	} else {
+		finishBest()
+	}
 	return res, nil
 }

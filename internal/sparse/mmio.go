@@ -55,8 +55,19 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 		}
 		break
 	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative MatrixMarket size %d %d %d", rows, cols, nnz)
+	}
+	if symmetric && rows != cols {
+		// The mirrored entry (j,i) of a non-square "symmetric" file would
+		// land out of range.
+		return nil, fmt.Errorf("sparse: symmetric MatrixMarket matrix is %dx%d, not square", rows, cols)
+	}
 
-	coo := NewCOO(rows, cols, nnz*2)
+	// Cap the pre-allocation: the header's nnz is a claim, not data. The
+	// triplet slices grow with the entries actually read, so a forged
+	// count fails at the truncation check instead of exhausting memory.
+	coo := NewCOO(rows, cols, min(nnz, 1<<20)*2)
 	for k := 0; k < nnz; {
 		line, err := br.ReadString('\n')
 		trimmed := strings.TrimSpace(line)

@@ -19,8 +19,10 @@
 package powerrchol
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"powerrchol/internal/amg"
@@ -172,6 +174,95 @@ type Options struct {
 	// triangular solves; every individual solve stays bitwise identical
 	// to the serial path regardless of Workers.
 	Workers int
+
+	// Retry is the automatic recovery policy. The zero value disables
+	// recovery (single attempt — today's behaviour); see RetryPolicy.
+	Retry RetryPolicy
+
+	// hooks intercepts the per-attempt pipeline for deterministic fault
+	// injection. Settable only from tests in this package (recovery
+	// tests wire in internal/faultinject here); always nil in production.
+	hooks *faultHooks
+}
+
+// RetryPolicy governs the bounded recovery ladder of the randomized
+// pipeline. A randomized factorization is only good in expectation: a bad
+// draw, a near-singular grid or a stalled PCG run can fail a single
+// attempt even though the next one would succeed. When MaxAttempts > 1,
+// a failed attempt (factorization breakdown, indefinite preconditioner,
+// detected stagnation or divergence) is retried with a reseeded
+// factorization and, with Escalate, walked down the ladder
+// LT-RChol → RChol → direct Cholesky. Recovery never changes the result
+// of an attempt that succeeds: the first attempt is bitwise identical to
+// a solve with recovery disabled.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of attempts, the first
+	// included. 0 or 1 means a single attempt (no recovery).
+	MaxAttempts int
+	// Escalate lets the later attempts switch methods down the ladder
+	// (LT-RChol → RChol → direct Cholesky) instead of only reseeding.
+	Escalate bool
+}
+
+// faultHooks intercepts each recovery attempt, for deterministic fault
+// injection in tests (see internal/faultinject and recovery_test.go).
+type faultHooks struct {
+	// factorOpts rewrites the core factorization options of an attempt.
+	factorOpts func(attempt int, o core.Options) core.Options
+	// wrapPrecond wraps the preconditioner built by an attempt.
+	wrapPrecond func(attempt int, m pcg.Preconditioner) pcg.Preconditioner
+}
+
+// Detection defaults used while recovery is enabled: PCG must halve its
+// best residual every 50 iterations and never exceed 10⁴× the best seen.
+// Well within what a healthy preconditioned run does, far outside what a
+// broken one can fake.
+const (
+	defaultStagnationWindow = 50
+	defaultStagnationFactor = 0.5
+	defaultDivergenceFactor = 1e4
+)
+
+// validate normalizes the zero-value defaults and rejects out-of-range
+// settings up front, before any reordering or factorization work. Every
+// public entry point (Solve*, NewSolver) funnels through it.
+func (o *Options) validate() error {
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 500
+	}
+	switch {
+	case math.IsNaN(o.Tol) || o.Tol <= 0:
+		return fmt.Errorf("powerrchol: Tol %g is not a positive tolerance", o.Tol)
+	case o.MaxIter < 0:
+		return fmt.Errorf("powerrchol: negative MaxIter %d", o.MaxIter)
+	case o.Workers < 0:
+		return fmt.Errorf("powerrchol: negative Workers %d", o.Workers)
+	case o.Buckets < 0:
+		return fmt.Errorf("powerrchol: negative Buckets %d", o.Buckets)
+	case o.Samples < 0:
+		return fmt.Errorf("powerrchol: negative Samples %d", o.Samples)
+	case o.Retry.MaxAttempts < 0:
+		return fmt.Errorf("powerrchol: negative Retry.MaxAttempts %d", o.Retry.MaxAttempts)
+	case math.IsNaN(o.HeavyFactor) || o.HeavyFactor < 0:
+		return fmt.Errorf("powerrchol: HeavyFactor %g is not a valid threshold", o.HeavyFactor)
+	}
+	return nil
+}
+
+// pcgOptions assembles the iteration options for one solve attempt.
+// Stagnation/divergence detection is armed only while recovery is
+// enabled, so a plain solve keeps exactly today's error surface.
+func (o Options) pcgOptions(ctx context.Context, workers int) pcg.Options {
+	p := pcg.Options{Tol: o.Tol, MaxIter: o.MaxIter, Workers: workers, Ctx: ctx}
+	if o.Retry.MaxAttempts > 1 {
+		p.StagnationWindow = defaultStagnationWindow
+		p.StagnationFactor = defaultStagnationFactor
+		p.DivergenceFactor = defaultDivergenceFactor
+	}
+	return p
 }
 
 // Timings breaks the total solution time into the paper's phases:
@@ -186,7 +277,9 @@ type Timings struct {
 // Total is T_tot = T_r + T_f + T_i.
 func (t Timings) Total() time.Duration { return t.Reorder + t.Factorize + t.Iterate }
 
-// Result reports a completed solve.
+// Result reports a completed solve. On an early stop (iteration cap,
+// stagnation, divergence, cancellation) X is the best iterate seen, not
+// the last one.
 type Result struct {
 	X          []float64
 	Iterations int
@@ -196,37 +289,49 @@ type Result struct {
 	// FactorNNZ is |L| (0 for AMG-family methods).
 	FactorNNZ int
 	Timings   Timings
+	// BestIteration is the iteration that produced X. It equals
+	// Iterations on converged runs; on capped, stagnated or cancelled
+	// runs X is the best iterate seen, not the last.
+	BestIteration int
+	// Attempts is the recovery-ladder diagnostic trail: one entry per
+	// attempt, failures first. Empty when recovery is disabled and the
+	// single attempt succeeded.
+	Attempts []Attempt
 }
-
-// ErrNotConverged is returned when the iteration cap is reached; the
-// Result is still populated so callers can inspect the partial solve.
-var ErrNotConverged = errors.New("powerrchol: PCG did not converge within the iteration limit")
 
 // Solve solves Sys·x = b with the selected method.
 func Solve(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), sys, b, opt)
+}
+
+// SolveContext is Solve under a context: a cancelled or expired ctx
+// aborts both the factorization (checked every few thousand pivots) and
+// the PCG iteration (checked every iteration) promptly, returning an
+// error wrapping context.Canceled or context.DeadlineExceeded.
+func SolveContext(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	if len(b) != sys.N() {
 		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), sys.N())
 	}
-	if opt.Tol == 0 {
-		opt.Tol = 1e-6
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
-	if opt.MaxIter == 0 {
-		opt.MaxIter = 500
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	switch opt.Method {
 	case MethodPowerRChol, MethodRChol, MethodLTRChol:
-		return solveRandomized(sys, b, opt)
+		return solveRandomized(ctx, sys, b, opt)
 	case MethodFeGRASS, MethodFeGRASSIChol:
-		return solveFeGRASS(sys, b, opt)
+		return solveFeGRASS(ctx, sys, b, opt)
 	case MethodAMG:
-		return solveAMG(sys, b, opt, nil)
+		return solveAMG(ctx, sys, b, opt, nil)
 	case MethodPowerRush:
 		c := merge.Contract(sys, opt.MergeFactor)
-		return solveAMG(c.System, c.FoldRHS(b), opt, c)
+		return solveAMG(ctx, c.System, c.FoldRHS(b), opt, c)
 	case MethodDirect:
 		return solveDirect(sys, b, opt)
 	case MethodJacobi, MethodSSOR:
-		return solveStationary(sys, b, opt)
+		return solveStationary(ctx, sys, b, opt)
 	}
 	return nil, fmt.Errorf("powerrchol: unknown method %v", opt.Method)
 }
@@ -277,50 +382,178 @@ func buildOrdering(sys *graph.SDDM, o Ordering, heavyFactor float64) []int {
 	return nil
 }
 
-func solveRandomized(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
-	variant := core.VariantLT
-	ordering := opt.Ordering
-	switch opt.Method {
-	case MethodPowerRChol:
-		if ordering == OrderDefault {
-			ordering = OrderAlg4
-		}
-	case MethodRChol:
-		variant = core.VariantRChol
-		if ordering == OrderDefault {
-			ordering = OrderAMD
-		}
-	case MethodLTRChol:
-		if ordering == OrderDefault {
-			ordering = OrderAMD
-		}
-	}
-
-	res := &Result{}
-	t0 := time.Now()
-	perm := buildOrdering(sys, ordering, opt.HeavyFactor)
-	res.Timings.Reorder = time.Since(t0)
-
-	t0 = time.Now()
-	f, err := core.Factorize(sys, perm, core.Options{
-		Variant: variant,
-		Buckets: opt.Buckets,
-		Seed:    opt.Seed,
-		Samples: opt.Samples,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Factorize = time.Since(t0)
-	res.FactorNNZ = f.NNZ()
-	if opt.Workers > 1 {
-		f.Parallelize(opt.Workers)
-	}
-
-	return runPCG(sys, b, f, opt, res, nil)
+// rung is one step of the recovery ladder: a concrete factorization
+// configuration for a solve attempt.
+type rung struct {
+	method   Method
+	ordering Ordering
+	variant  core.Variant
+	direct   bool // complete Cholesky instead of a randomized factor
+	seed     uint64
 }
 
-func solveFeGRASS(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+// reseed derives the factorization seed for retry attempt k (k = 0 is
+// the caller's own seed). The golden-ratio stride gives splitmix64
+// independent streams.
+func reseed(seed uint64, k int) uint64 {
+	return seed + uint64(k)*0x9e3779b97f4a7c15
+}
+
+// baseRung resolves the requested randomized method to its paper
+// configuration (the exact logic Solve has always used).
+func baseRung(opt Options) rung {
+	rg := rung{method: opt.Method, ordering: opt.Ordering, variant: core.VariantLT, seed: opt.Seed}
+	switch opt.Method {
+	case MethodPowerRChol:
+		if rg.ordering == OrderDefault {
+			rg.ordering = OrderAlg4
+		}
+	case MethodRChol:
+		rg.variant = core.VariantRChol
+		if rg.ordering == OrderDefault {
+			rg.ordering = OrderAMD
+		}
+	case MethodLTRChol:
+		if rg.ordering == OrderDefault {
+			rg.ordering = OrderAMD
+		}
+	}
+	return rg
+}
+
+// attemptPlan lays out the recovery ladder for the randomized pipeline,
+// truncated to Retry.MaxAttempts. Without Escalate every retry is a
+// reseed of the requested configuration. With Escalate the ladder is
+// reseed → RChol (skipped if that is already the requested method) →
+// direct Cholesky, the strongest and only deterministic rung.
+func attemptPlan(opt Options) []rung {
+	max := opt.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	base := baseRung(opt)
+	plan := []rung{base}
+	if !opt.Retry.Escalate {
+		for k := 1; k < max; k++ {
+			r := base
+			r.seed = reseed(opt.Seed, k)
+			plan = append(plan, r)
+		}
+		return plan
+	}
+	r := base
+	r.seed = reseed(opt.Seed, 1)
+	plan = append(plan, r)
+	if base.variant != core.VariantRChol {
+		plan = append(plan, rung{
+			method: MethodRChol, ordering: OrderAMD,
+			variant: core.VariantRChol, seed: reseed(opt.Seed, 2),
+		})
+	}
+	plan = append(plan, rung{method: MethodDirect, ordering: OrderAMD, direct: true})
+	if len(plan) > max {
+		plan = plan[:max]
+	}
+	return plan
+}
+
+// recoverable reports whether a failed attempt should fall through to
+// the next ladder rung: factorization breakdown, an indefinite operator
+// or preconditioner (including NaN propagation), and detected
+// stagnation or divergence all qualify. Cancellation and plain
+// running-out-of-iterations do not.
+func recoverable(err error) bool {
+	return errors.Is(err, core.ErrBreakdown) ||
+		errors.Is(err, pcg.ErrIndefinite) ||
+		errors.Is(err, pcg.ErrStagnated) ||
+		errors.Is(err, pcg.ErrDiverged)
+}
+
+func ctxDone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func solveRandomized(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+	plan := attemptPlan(opt)
+	var trail []Attempt
+	for i, rg := range plan {
+		res := &Result{}
+		t0 := time.Now()
+		perm := buildOrdering(sys, rg.ordering, opt.HeavyFactor)
+		res.Timings.Reorder = time.Since(t0)
+
+		t0 = time.Now()
+		var f *core.Factor
+		var err error
+		if rg.direct {
+			f, err = chol.Factorize(sys.ToCSC(), perm)
+		} else {
+			copt := core.Options{
+				Variant: rg.variant,
+				Buckets: opt.Buckets,
+				Seed:    rg.seed,
+				Samples: opt.Samples,
+				Ctx:     ctx,
+			}
+			if opt.hooks != nil && opt.hooks.factorOpts != nil {
+				copt = opt.hooks.factorOpts(i, copt)
+			}
+			f, err = core.Factorize(sys, perm, copt)
+		}
+		att := Attempt{Method: rg.method, Ordering: rg.ordering, Seed: rg.seed}
+		if err != nil {
+			if ctxDone(err) {
+				return nil, err
+			}
+			att.Err = err.Error()
+			trail = append(trail, att)
+			if i < len(plan)-1 && recoverable(err) {
+				continue
+			}
+			return nil, &SolveError{Attempts: trail, Last: err}
+		}
+		res.Timings.Factorize = time.Since(t0)
+		res.FactorNNZ = f.NNZ()
+		if opt.Workers > 1 {
+			f.Parallelize(opt.Workers)
+		}
+		var m pcg.Preconditioner = f
+		if opt.hooks != nil && opt.hooks.wrapPrecond != nil {
+			m = opt.hooks.wrapPrecond(i, m)
+		}
+
+		res, err = runPCG(ctx, sys, b, m, opt, res)
+		if res != nil {
+			att.Iterations = res.Iterations
+			att.Residual = res.Residual
+		}
+		if err == nil {
+			if len(trail) > 0 || opt.Retry.MaxAttempts > 1 {
+				res.Attempts = append(trail, att)
+			}
+			return res, nil
+		}
+		if ctxDone(err) {
+			return res, err
+		}
+		att.Err = err.Error()
+		trail = append(trail, att)
+		if i < len(plan)-1 && recoverable(err) {
+			continue
+		}
+		if errors.Is(err, ErrNotConverged) {
+			// The cap was reached without a detected failure: retrying the
+			// same slow-but-healthy solve would only double the bill.
+			// Return the partial result with its trail.
+			res.Attempts = trail
+			return res, err
+		}
+		return res, &SolveError{Attempts: trail, Last: err}
+	}
+	panic("powerrchol: empty attempt plan") // unreachable: plan always has ≥ 1 rung
+}
+
+func solveFeGRASS(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	frac := opt.RecoverFrac
 	if frac == 0 {
 		if opt.Method == MethodFeGRASSIChol {
@@ -354,10 +587,10 @@ func solveFeGRASS(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 		f.Parallelize(opt.Workers)
 	}
 
-	return runPCG(sys, b, f, opt, res, nil)
+	return runPCG(ctx, sys, b, f, opt, res)
 }
 
-func solveAMG(sys *graph.SDDM, b []float64, opt Options, c *merge.Contraction) (*Result, error) {
+func solveAMG(ctx context.Context, sys *graph.SDDM, b []float64, opt Options, c *merge.Contraction) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
 	a := sys.ToCSC()
@@ -368,17 +601,19 @@ func solveAMG(sys *graph.SDDM, b []float64, opt Options, c *merge.Contraction) (
 	res.Timings.Factorize = time.Since(t0)
 
 	t0 = time.Now()
-	pres, err := pcg.Solve(a, b, p, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter})
-	if err != nil {
-		return nil, err
-	}
+	pres, err := pcg.Solve(a, b, p, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Ctx: ctx})
 	res.Timings.Iterate = time.Since(t0)
-	fill(res, pres)
-	if c != nil {
-		res.X = c.Expand(pres.X)
+	if pres != nil {
+		fill(res, pres)
+		if c != nil && pres.X != nil {
+			res.X = c.Expand(pres.X)
+		}
+	}
+	if err != nil {
+		return res, err
 	}
 	if !res.Converged {
-		return res, ErrNotConverged
+		return res, notConverged(opt, res)
 	}
 	return res, nil
 }
@@ -417,7 +652,7 @@ func orderOrAMD(o Ordering) Ordering {
 	return o
 }
 
-func solveStationary(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+func solveStationary(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
 	a := sys.ToCSC()
@@ -433,19 +668,21 @@ func solveStationary(sys *graph.SDDM, b []float64, opt Options) (*Result, error)
 	}
 	res.Timings.Factorize = time.Since(t0)
 	t0 = time.Now()
-	pres, err := pcg.Solve(a, b, j, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter})
-	if err != nil {
-		return nil, err
-	}
+	pres, err := pcg.Solve(a, b, j, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Ctx: ctx})
 	res.Timings.Iterate = time.Since(t0)
-	fill(res, pres)
+	if pres != nil {
+		fill(res, pres)
+	}
+	if err != nil {
+		return res, err
+	}
 	if !res.Converged {
-		return res, ErrNotConverged
+		return res, notConverged(opt, res)
 	}
 	return res, nil
 }
 
-func runPCG(sys *graph.SDDM, b []float64, m pcg.Preconditioner, opt Options, res *Result, _ interface{}) (*Result, error) {
+func runPCG(ctx context.Context, sys *graph.SDDM, b []float64, m pcg.Preconditioner, opt Options, res *Result) (*Result, error) {
 	t0 := time.Now()
 	// Assembling the CSC once is faster than edge-list SpMV per iteration;
 	// with Workers > 1 the product runs row-parallel over a CSR copy.
@@ -456,16 +693,29 @@ func runPCG(sys *graph.SDDM, b []float64, m pcg.Preconditioner, opt Options, res
 		workers := opt.Workers
 		mul = func(y, x []float64) { csr.MulVecParallel(y, x, workers) }
 	}
-	pres, err := pcg.SolveOp(sys.N(), mul, b, m, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Workers: opt.Workers})
-	if err != nil {
-		return nil, err
-	}
+	pres, err := pcg.SolveOp(sys.N(), mul, b, m, opt.pcgOptions(ctx, opt.Workers))
 	res.Timings.Iterate = time.Since(t0)
-	fill(res, pres)
+	if pres != nil {
+		fill(res, pres)
+	}
+	if err != nil {
+		return res, err
+	}
 	if !res.Converged {
-		return res, ErrNotConverged
+		return res, notConverged(opt, res)
 	}
 	return res, nil
+}
+
+// notConverged builds the typed iteration-cap error for a populated
+// partial result.
+func notConverged(opt Options, res *Result) error {
+	return &NotConvergedError{
+		Method:     opt.Method,
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Tol:        opt.Tol,
+	}
 }
 
 func fill(res *Result, p *pcg.Result) {
@@ -474,6 +724,7 @@ func fill(res *Result, p *pcg.Result) {
 	res.Residual = p.Residual
 	res.Converged = p.Converged
 	res.History = p.History
+	res.BestIteration = p.BestIteration
 }
 
 func relativeResidual(sys *graph.SDDM, x, b []float64) float64 {

@@ -1,6 +1,7 @@
 package powerrchol
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +28,15 @@ import (
 // Batch workloads should prefer SolveBatch, which fans right-hand sides
 // across a bounded worker pool while keeping every individual solve
 // bitwise identical to the serial Solve path.
+//
+// Recovery: with Options.Retry enabled, a randomized factorization that
+// breaks down during NewSolver is retried with reseeds and (with
+// Escalate) walked down the LT-RChol → RChol → direct Cholesky ladder;
+// the trail is available from SetupAttempts. Because the Solver is
+// immutable after construction, solve-time failures (indefiniteness,
+// stagnation) are detected and reported with typed errors but not
+// refactorized in place — use the one-shot SolveContext for the full
+// solve-time ladder.
 type Solver struct {
 	opt Options
 	sys *graph.SDDM
@@ -36,6 +46,7 @@ type Solver struct {
 	setupReorder   time.Duration
 	setupFactorize time.Duration
 	factorNNZ      int
+	setupAttempts  []Attempt
 }
 
 // NewSolver validates the system and builds the preconditioner for the
@@ -43,84 +54,57 @@ type Solver struct {
 // contraction changes the unknowns; use Solve) and MethodDirect is
 // supported (Apply is an exact solve, so PCG converges in one iteration).
 func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
-	if opt.Tol == 0 {
-		opt.Tol = 1e-6
+	return NewSolverContext(context.Background(), sys, opt)
+}
+
+// NewSolverContext is NewSolver under a context: a cancelled or expired
+// ctx aborts the randomized factorization mid-elimination.
+func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solver, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
 	}
-	if opt.MaxIter == 0 {
-		opt.MaxIter = 500
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	s := &Solver{opt: opt, sys: sys}
 
-	t0 := time.Now()
-	var perm []int
-	switch opt.Method {
-	case MethodPowerRChol:
-		perm = buildOrdering(sys, orderOr(opt.Ordering, OrderAlg4), opt.HeavyFactor)
-	case MethodRChol, MethodLTRChol, MethodDirect:
-		perm = buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor)
-	}
-	s.setupReorder = time.Since(t0)
-
-	t0 = time.Now()
 	var err error
 	switch opt.Method {
 	case MethodPowerRChol, MethodLTRChol, MethodRChol:
-		variant := core.VariantLT
-		if opt.Method == MethodRChol {
-			variant = core.VariantRChol
-		}
-		var f *core.Factor
-		f, err = core.Factorize(sys, perm, core.Options{
-			Variant: variant, Buckets: opt.Buckets, Seed: opt.Seed, Samples: opt.Samples,
-		})
-		if err == nil {
-			s.m = f
-			s.factorNNZ = f.NNZ()
-		}
+		err = s.setupRandomized(ctx)
 	case MethodFeGRASS, MethodFeGRASSIChol:
-		frac := opt.RecoverFrac
-		if frac == 0 {
-			if opt.Method == MethodFeGRASSIChol {
-				frac = fegrass.IcholRecoverFrac
-			} else {
-				frac = fegrass.DefaultRecoverFrac
-			}
-		}
-		var sp *graph.SDDM
-		sp, err = fegrass.Sparsify(sys, frac)
-		if err == nil {
-			sperm := order.AMD(sp.G)
-			var f *core.Factor
-			if opt.Method == MethodFeGRASSIChol {
-				f, err = ichol.Factorize(sp.ToCSC(), sperm, ichol.Options{DropTol: opt.DropTol})
-			} else {
-				f, err = chol.Factorize(sp.ToCSC(), sperm)
-			}
-			if err == nil {
-				s.m = f
-				s.factorNNZ = f.NNZ()
-			}
-		}
+		err = s.setupFeGRASS()
 	case MethodDirect:
+		t0 := time.Now()
+		perm := buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor)
+		s.setupReorder = time.Since(t0)
+		t0 = time.Now()
 		var f *core.Factor
 		f, err = chol.Factorize(sys.ToCSC(), perm)
 		if err == nil {
 			s.m = f
 			s.factorNNZ = f.NNZ()
+			s.setupFactorize = time.Since(t0)
 		}
 	case MethodAMG:
+		t0 := time.Now()
 		s.a = sys.ToCSC()
 		var p *amg.Preconditioner
 		p, err = amg.New(s.a, amg.Options{})
 		if err == nil {
 			s.m = p
+			s.setupFactorize = time.Since(t0)
 		}
 	case MethodJacobi:
+		t0 := time.Now()
 		s.a = sys.ToCSC()
 		s.m, err = pcg.NewJacobi(s.a)
+		s.setupFactorize = time.Since(t0)
 	case MethodSSOR:
+		t0 := time.Now()
 		s.a = sys.ToCSC()
 		s.m, err = pcg.NewSSOR(s.a, 0)
+		s.setupFactorize = time.Since(t0)
 	case MethodPowerRush:
 		err = fmt.Errorf("powerrchol: MethodPowerRush contracts the system; use Solve instead of NewSolver")
 	default:
@@ -129,7 +113,6 @@ func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.setupFactorize = time.Since(t0)
 	if s.a == nil {
 		s.a = sys.ToCSC()
 	}
@@ -142,6 +125,89 @@ func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
 		}
 	}
 	return s, nil
+}
+
+// setupRandomized builds the randomized factor, walking the recovery
+// ladder on breakdown: each rung is recorded in SetupAttempts.
+func (s *Solver) setupRandomized(ctx context.Context) error {
+	plan := attemptPlan(s.opt)
+	for i, rg := range plan {
+		t0 := time.Now()
+		perm := buildOrdering(s.sys, rg.ordering, s.opt.HeavyFactor)
+		s.setupReorder = time.Since(t0)
+
+		t0 = time.Now()
+		var f *core.Factor
+		var err error
+		if rg.direct {
+			f, err = chol.Factorize(s.sys.ToCSC(), perm)
+		} else {
+			copt := core.Options{
+				Variant: rg.variant,
+				Buckets: s.opt.Buckets,
+				Seed:    rg.seed,
+				Samples: s.opt.Samples,
+				Ctx:     ctx,
+			}
+			if s.opt.hooks != nil && s.opt.hooks.factorOpts != nil {
+				copt = s.opt.hooks.factorOpts(i, copt)
+			}
+			f, err = core.Factorize(s.sys, perm, copt)
+		}
+		att := Attempt{Method: rg.method, Ordering: rg.ordering, Seed: rg.seed}
+		if err != nil {
+			if ctxDone(err) {
+				return err
+			}
+			att.Err = err.Error()
+			s.setupAttempts = append(s.setupAttempts, att)
+			if i < len(plan)-1 && recoverable(err) {
+				continue
+			}
+			return &SolveError{Attempts: s.setupAttempts, Last: err}
+		}
+		s.setupFactorize = time.Since(t0)
+		s.m = f
+		s.factorNNZ = f.NNZ()
+		if len(s.setupAttempts) > 0 || s.opt.Retry.MaxAttempts > 1 {
+			s.setupAttempts = append(s.setupAttempts, att)
+		}
+		return nil
+	}
+	panic("powerrchol: empty attempt plan") // unreachable: plan always has ≥ 1 rung
+}
+
+func (s *Solver) setupFeGRASS() error {
+	opt := s.opt
+	frac := opt.RecoverFrac
+	if frac == 0 {
+		if opt.Method == MethodFeGRASSIChol {
+			frac = fegrass.IcholRecoverFrac
+		} else {
+			frac = fegrass.DefaultRecoverFrac
+		}
+	}
+	t0 := time.Now()
+	sp, err := fegrass.Sparsify(s.sys, frac)
+	if err != nil {
+		return err
+	}
+	sperm := order.AMD(sp.G)
+	s.setupReorder = time.Since(t0)
+	t0 = time.Now()
+	var f *core.Factor
+	if opt.Method == MethodFeGRASSIChol {
+		f, err = ichol.Factorize(sp.ToCSC(), sperm, ichol.Options{DropTol: opt.DropTol})
+	} else {
+		f, err = chol.Factorize(sp.ToCSC(), sperm)
+	}
+	if err != nil {
+		return err
+	}
+	s.m = f
+	s.factorNNZ = f.NNZ()
+	s.setupFactorize = time.Since(t0)
+	return nil
 }
 
 func orderOr(o, def Ordering) Ordering {
@@ -159,44 +225,62 @@ func (s *Solver) SetupTimings() Timings {
 // FactorNNZ reports |L| (0 for AMG/Jacobi).
 func (s *Solver) FactorNNZ() int { return s.factorNNZ }
 
+// SetupAttempts returns the recovery-ladder trail of NewSolver for the
+// randomized methods: one entry per factorization attempt, failures
+// first. Empty when recovery is disabled and the first attempt
+// succeeded. The returned slice is shared; callers must not mutate it.
+func (s *Solver) SetupAttempts() []Attempt { return s.setupAttempts }
+
 // Solve runs PCG for one right-hand side, reusing the prepared
 // preconditioner. The returned Result's Timings contain only the
 // iteration time (setup is reported once by SetupTimings).
 func (s *Solver) Solve(b []float64) (*Result, error) {
-	if len(b) != s.sys.N() {
-		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), s.sys.N())
-	}
-	res := &Result{FactorNNZ: s.factorNNZ}
-	t0 := time.Now()
-	pres, err := pcg.Solve(s.a, b, s.m, pcg.Options{Tol: s.opt.Tol, MaxIter: s.opt.MaxIter})
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Iterate = time.Since(t0)
-	fill(res, pres)
-	if !res.Converged {
-		return res, ErrNotConverged
-	}
-	return res, nil
+	return s.SolveContext(context.Background(), b)
+}
+
+// SolveContext is Solve under a context: a cancelled or expired ctx
+// aborts the PCG iteration promptly, returning the best iterate found
+// with an error wrapping context.Canceled or context.DeadlineExceeded.
+func (s *Solver) SolveContext(ctx context.Context, b []float64) (*Result, error) {
+	return s.solveContext(ctx, b, nil)
 }
 
 // SolveFrom is Solve with a warm start: PCG begins at x0 instead of
 // zero. Across transient time steps, where consecutive solutions differ
 // little, this typically saves a third or more of the iterations.
 func (s *Solver) SolveFrom(b, x0 []float64) (*Result, error) {
+	return s.SolveFromContext(context.Background(), b, x0)
+}
+
+// SolveFromContext is SolveFrom under a context. A nil x0 is a cold
+// start, identical to SolveContext.
+func (s *Solver) SolveFromContext(ctx context.Context, b, x0 []float64) (*Result, error) {
+	return s.solveContext(ctx, b, x0)
+}
+
+func (s *Solver) solveContext(ctx context.Context, b, x0 []float64) (*Result, error) {
 	if len(b) != s.sys.N() {
 		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), s.sys.N())
 	}
 	res := &Result{FactorNNZ: s.factorNNZ}
+	popt := s.opt.pcgOptions(ctx, 0)
 	t0 := time.Now()
-	pres, err := pcg.SolveFrom(s.a, b, x0, s.m, pcg.Options{Tol: s.opt.Tol, MaxIter: s.opt.MaxIter})
-	if err != nil {
-		return nil, err
+	var pres *pcg.Result
+	var err error
+	if x0 == nil {
+		pres, err = pcg.Solve(s.a, b, s.m, popt)
+	} else {
+		pres, err = pcg.SolveFrom(s.a, b, x0, s.m, popt)
 	}
 	res.Timings.Iterate = time.Since(t0)
-	fill(res, pres)
+	if pres != nil {
+		fill(res, pres)
+	}
+	if err != nil {
+		return res, err
+	}
 	if !res.Converged {
-		return res, ErrNotConverged
+		return res, notConverged(s.opt, res)
 	}
 	return res, nil
 }
@@ -232,11 +316,21 @@ func (s *Solver) BatchWorkers() int {
 // for every worker count. No randomness is consumed: the factorization
 // seed is spent in NewSolver and never leaks into the solve phase.
 //
-// The returned slice always has len(rhs) entries. If any solve fails,
-// the error of the lowest-indexed failure is returned; entries that
-// failed with ErrNotConverged still carry their partial Result, other
-// failures leave a nil entry.
+// The returned slice always has len(rhs) entries. One bad right-hand
+// side (say, a NaN entry) fails only its own solve: the others complete
+// normally. If any solve fails, the error is a *BatchError whose Errs
+// slice reports each failure at its index; errors.Is/As on it reach the
+// lowest-indexed failure. Entries that failed with ErrNotConverged
+// still carry their partial Result, other failures leave a nil entry.
 func (s *Solver) SolveBatch(rhs [][]float64) ([]*Result, error) {
+	return s.SolveBatchContext(context.Background(), rhs)
+}
+
+// SolveBatchContext is SolveBatch under a context. A cancelled or
+// expired ctx stops dispatching new solves and aborts the in-flight
+// ones promptly; right-hand sides that never ran report the context
+// error in the BatchError.
+func (s *Solver) SolveBatchContext(ctx context.Context, rhs [][]float64) ([]*Result, error) {
 	n := s.sys.N()
 	for i, b := range rhs {
 		if len(b) != n {
@@ -247,6 +341,9 @@ func (s *Solver) SolveBatch(rhs [][]float64) ([]*Result, error) {
 	errs := make([]error, len(rhs))
 	if len(rhs) == 0 {
 		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	workers := s.BatchWorkers()
@@ -264,19 +361,29 @@ func (s *Solver) SolveBatch(rhs [][]float64) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = s.Solve(rhs[i])
+				results[i], errs[i] = s.SolveContext(ctx, rhs[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range rhs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched; in-flight solves see the
+			// same cancellation through their per-iteration context checks.
+			for j := i; j < len(rhs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return results, &BatchError{Errs: errs}
 		}
 	}
 	return results, nil
