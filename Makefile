@@ -1,18 +1,38 @@
 GO ?= go
 
-.PHONY: all check build test vet race fuzz bench cover tables examples clean
+.PHONY: all check build test vet lint lint-list race fuzz bench cover tables examples clean
 
 all: check
 
-# check is the default CI gate: tier-1 build+tests, vet, the race
+# check is the default CI gate: tier-1 build+tests, vet, pglint, the race
 # detector over the short case set, and a short-budget fuzz pass.
-check: build vet test race fuzz
+check: build vet lint test race fuzz
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# pglint is the in-repo determinism/numerical-safety analyzer suite
+# (internal/lint, DESIGN.md §9): banned ambient randomness/time,
+# map-order-dependent iteration, exact float comparison, sync.Pool leaks,
+# severed error chains. The vettool binary is rebuilt only when its
+# sources change (and Go's build cache makes even that rebuild a no-op),
+# so the repeated `make lint` in the check gate stays fast.
+PGLINT := bin/pglint
+PGLINT_SRC := $(shell find cmd/pglint internal/lint -name '*.go' -not -path '*/testdata/*') go.mod
+
+$(PGLINT): $(PGLINT_SRC)
+	$(GO) build -o $(PGLINT) ./cmd/pglint
+
+lint: $(PGLINT)
+	$(GO) vet -vettool=$(abspath $(PGLINT)) ./...
+
+# lint-list prints every finding without failing the build: the triage
+# view for judging a new analyzer or sweeping after a big refactor.
+lint-list: $(PGLINT)
+	-$(GO) vet -vettool=$(abspath $(PGLINT)) ./...
 
 test:
 	$(GO) test ./...
@@ -59,3 +79,4 @@ examples:
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt
+	rm -rf bin

@@ -259,7 +259,7 @@ func BenchmarkKernel_OrderAlg4(b *testing.B) {
 	p := benchProblem(b, "thupg2")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		order.Alg4(p.Sys.G, 0)
+		order.Alg4(p.Sys.G, 0, nil)
 	}
 }
 
@@ -280,7 +280,7 @@ func BenchmarkKernel_SpMV(b *testing.B) {
 
 func BenchmarkKernel_TriangularSolves(b *testing.B) {
 	p := benchProblem(b, "thupg2")
-	f, err := core.Factorize(p.Sys, order.Alg4(p.Sys.G, 0), core.Options{Variant: core.VariantLT, Seed: 7})
+	f, err := core.Factorize(p.Sys, order.Alg4(p.Sys.G, 0, nil), core.Options{Variant: core.VariantLT, Seed: 7})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,21 @@
+// pglint is the repository's custom static-analysis gate, a unitchecker
+// binary speaking the `go vet -vettool` protocol:
+//
+//	go build -o bin/pglint ./cmd/pglint
+//	go vet -vettool=bin/pglint ./...
+//
+// (or just `make lint`). It runs the five analyzers of internal/lint —
+// bannedimport, maprange, floateq, poolleak, errwrapcheck — over every
+// package, with findings suppressed only by per-line
+// //pglint:<name> <reason> annotations. See DESIGN.md §9.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"powerrchol/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

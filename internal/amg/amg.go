@@ -65,6 +65,7 @@ type Preconditioner struct {
 }
 
 func (p *Preconditioner) getScratch() *scratch {
+	//pglint:pool-escapes checkout helper: Apply owns the scratch and returns it via putScratch on its only exit
 	if s, ok := p.pool.Get().(*scratch); ok {
 		return s
 	}

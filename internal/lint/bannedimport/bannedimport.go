@@ -1,0 +1,87 @@
+// Package bannedimport bans ambient randomness and ambient time from the
+// solver packages.
+//
+// Every randomized algorithm in this repository (RChol, LT-RChol, the
+// recovery ladder's reseeding) must be bitwise replayable from
+// Options.Seed. math/rand and math/rand/v2 are therefore forbidden
+// everywhere except internal/rng, the sanctioned seeded generator; a
+// kernel that wants randomness threads a *rng.Rand through its API.
+// time.Now is forbidden inside the numeric kernels (see
+// internal/lint/policy): a factorization or ordering that reads the clock
+// cannot be replayed. The orchestration layer (root package, cmd/*,
+// internal/bench) may time things for telemetry.
+//
+// Suppress with //pglint:ambient-ok <reason>.
+package bannedimport
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "ambient-ok"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "bannedimport",
+	Doc:      "forbid math/rand anywhere and time.Now in numeric kernels; randomness must come from internal/rng, seeded via Options",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	pkg := pass.Pkg.Path()
+
+	testFile := func(n ast.Node) bool {
+		name := pass.Fset.Position(n.Pos()).Filename
+		return strings.HasSuffix(name, "_test.go")
+	}
+
+	for _, f := range pass.Files {
+		if testFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && !policy.RandSanctioned(pkg) {
+				if _, ok := dirs.Allow(imp.Pos(), DirectiveName); ok {
+					continue
+				}
+				pass.Reportf(imp.Pos(), "import of %s is banned: draw randomness from internal/rng and thread the seed from Options so runs are replayable", path)
+			}
+		}
+	}
+
+	if !policy.Numeric(pkg) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || obj.Name() != "Now" {
+			return
+		}
+		if testFile(sel) {
+			return
+		}
+		if _, ok := dirs.Allow(sel.Pos(), DirectiveName); ok {
+			return
+		}
+		pass.Reportf(sel.Pos(), "time.Now in numeric kernel package %s breaks seed replayability: kernels must be pure functions of (input, seed); time belongs in the orchestration layer", pkg)
+	})
+	return nil, nil
+}

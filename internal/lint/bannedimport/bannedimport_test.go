@@ -1,0 +1,16 @@
+package bannedimport_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/bannedimport"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestBannedImport(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), bannedimport.Analyzer,
+		"example.com/internal/core",
+		"example.com/internal/rng",
+		"example.com/telemetry",
+	)
+}

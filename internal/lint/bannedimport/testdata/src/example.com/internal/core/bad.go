@@ -1,0 +1,32 @@
+// Package core is a fixture standing in for a numeric kernel package:
+// math/rand and time.Now are both banned here.
+package core
+
+import (
+	"math/rand" // want `import of math/rand is banned`
+	"time"
+)
+
+func Sample() float64 {
+	return rand.Float64()
+}
+
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now in numeric kernel package`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	// Using the time package for types and arithmetic is fine; only
+	// reading the ambient clock is banned.
+	return time.Since(t0)
+}
+
+func Sanctioned() int64 {
+	//pglint:ambient-ok fixture: demonstrating an annotated clock read
+	return time.Now().UnixNano()
+}
+
+func Unjustified() int64 {
+	//pglint:ambient-ok // want `directive needs a reason`
+	return time.Now().UnixNano()
+}

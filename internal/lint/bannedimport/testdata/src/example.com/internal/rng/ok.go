@@ -1,0 +1,9 @@
+// Package rng is the sanctioned randomness source: it alone may import
+// math/rand (e.g. to cross-check its own generator).
+package rng
+
+import "math/rand"
+
+func Reference(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,16 @@
+// Package telemetry is orchestration-layer code: wall-clock timing is
+// legitimate here, but ambient randomness is still banned.
+package telemetry
+
+import (
+	"math/rand" // want `import of math/rand is banned`
+	"time"
+)
+
+func Timestamp() time.Time {
+	return time.Now() // allowed: not a numeric kernel package
+}
+
+func Jitter() float64 {
+	return rand.Float64()
+}

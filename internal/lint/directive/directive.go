@@ -1,0 +1,105 @@
+// Package directive parses //pglint: suppression annotations.
+//
+// Grammar (one directive per comment, reason mandatory):
+//
+//	//pglint:<name> <reason>
+//
+// The directive suppresses a pglint finding on the same source line, or —
+// when written as a standalone comment — on the next source line. Each
+// analyzer owns a fixed directive name (e.g. maprange honors
+// pglint:ordered-irrelevant); a directive never silences an analyzer it
+// does not belong to. A directive without a reason is itself reported by
+// the owning analyzer: the whole point of the annotation is to leave a
+// written justification in the code.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment marker, with no space after // — the same
+// convention as //go: build directives, so gofmt leaves it alone.
+const Prefix = "//pglint:"
+
+// A Directive is one parsed //pglint: annotation.
+type Directive struct {
+	Name   string    // e.g. "ordered-irrelevant"
+	Reason string    // justification text; "" is malformed
+	Pos    token.Pos // position of the comment
+	Line   int       // line the directive applies to (its own line)
+}
+
+// An Index holds every pglint directive of a package, keyed by file line.
+type Index struct {
+	fset  *token.FileSet
+	byPos map[string]map[int][]Directive // filename -> line -> directives
+}
+
+// New scans all files of the pass and indexes their pglint directives.
+func New(pass *analysis.Pass) *Index {
+	ix := &Index{fset: pass.Fset, byPos: make(map[string]map[int][]Directive)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ix.add(c)
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) add(c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, Prefix) {
+		return
+	}
+	rest := strings.TrimPrefix(c.Text, Prefix)
+	name, reason, _ := strings.Cut(rest, " ")
+	// Tolerate a trailing analysistest-style expectation so fixture files
+	// can assert on malformed directives: it is never part of the reason.
+	if i := strings.Index(reason, "// want"); i >= 0 {
+		reason = reason[:i]
+	}
+	pos := ix.fset.Position(c.Pos())
+	d := Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos(), Line: pos.Line}
+	m := ix.byPos[pos.Filename]
+	if m == nil {
+		m = make(map[int][]Directive)
+		ix.byPos[pos.Filename] = m
+	}
+	m[d.Line] = append(m[d.Line], d)
+}
+
+// Allow reports whether a directive with the given name covers pos: either
+// trailing on the same line, or a standalone comment on the line directly
+// above. The matched directive is returned so callers can validate it.
+func (ix *Index) Allow(pos token.Pos, name string) (Directive, bool) {
+	p := ix.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range ix.byPos[p.Filename][line] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Validate reports, via pass.Report, every directive named name whose
+// reason is empty. Each analyzer calls this for the directive names it
+// owns, so a justification-free suppression fails the lint gate instead of
+// silently widening it.
+func (ix *Index) Validate(pass *analysis.Pass, name string) {
+	for _, lines := range ix.byPos {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if d.Name == name && d.Reason == "" {
+					pass.Reportf(d.Pos, "pglint:%s directive needs a reason: write //pglint:%s <why this is safe>", name, name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package errwrapcheck enforces the error taxonomy when errors are
+// re-reported.
+//
+// The recovery ladder and the batch API rely on errors.Is/As working
+// through every layer: callers match ErrNotConverged, *SolveError,
+// core.ErrBreakdown. A fmt.Errorf("...: %v", err) anywhere in the chain
+// severs it — the text survives but the identity is gone, and the retry
+// logic downstream stops recognizing the failure class. This analyzer
+// flags any fmt.Errorf call that formats a value of type error without
+// using the %w verb. Propagate with %w, or return one of the typed errors
+// from errors.go. The rare legitimate flattening (e.g. folding an error
+// into a metric label) is annotated //pglint:no-wrap <reason>.
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"powerrchol/internal/lint/directive"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "no-wrap"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "errwrapcheck",
+	Doc:      "flag fmt.Errorf that formats an error without %w; the chain must stay matchable by errors.Is/As",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+			return
+		}
+		if len(call.Args) < 2 {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(call.Pos()).Filename, "_test.go") {
+			return
+		}
+		// Constant format string; a dynamic format cannot be checked.
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return
+		}
+		if strings.Contains(constant.StringVal(tv.Value), "%w") {
+			return
+		}
+		for _, arg := range call.Args[1:] {
+			t := pass.TypesInfo.TypeOf(arg)
+			if t == nil || !types.Implements(t, errIface) {
+				continue
+			}
+			if _, ok := dirs.Allow(call.Pos(), DirectiveName); ok {
+				return
+			}
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w, severing the errors.Is/As chain; wrap with %%w or return a typed error from errors.go (annotate //pglint:%s <reason> to flatten deliberately)", DirectiveName)
+			return
+		}
+	})
+	return nil, nil
+}

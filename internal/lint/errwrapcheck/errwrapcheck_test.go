@@ -1,0 +1,14 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/errwrapcheck"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), errwrapcheck.Analyzer,
+		"example.com/internal/graph",
+	)
+}

@@ -1,0 +1,47 @@
+// Package graph is a fixture for the error-propagation taxonomy rules.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrSingular = errors.New("graph: singular system")
+
+type ParseError struct{ Line int }
+
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at line %d", e.Line) }
+
+func Flattened(err error) error {
+	return fmt.Errorf("building graph: %v", err) // want `severing the errors.Is/As chain`
+}
+
+func FlattenedString(err error) error {
+	return fmt.Errorf("building graph: %s", err) // want `severing the errors.Is/As chain`
+}
+
+func FlattenedTyped(e *ParseError) error {
+	return fmt.Errorf("building graph: %v", e) // want `severing the errors.Is/As chain`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("building graph: %w", err)
+}
+
+func Typed(line int) error {
+	return &ParseError{Line: line} // typed errors from errors.go are the other sanctioned shape
+}
+
+func NoErrorArgs(n int) error {
+	return fmt.Errorf("graph has %d negative weights", n)
+}
+
+func Deliberate(err error) string {
+	//pglint:no-wrap metric label only; the error is also returned unflattened by the caller
+	return fmt.Errorf("label: %v", err).Error()
+}
+
+func Unjustified(err error) error {
+	//pglint:no-wrap // want `directive needs a reason`
+	return fmt.Errorf("building graph: %v", err)
+}

@@ -1,0 +1,115 @@
+// Package floateq flags == and != between computed floating-point
+// expressions.
+//
+// Exact float comparison is almost always a rounding-error bug in a
+// numerical code base: two mathematically equal quantities computed by
+// different routes differ in the last ulps, so the comparison silently
+// becomes "which code path ran". Three shapes stay legal because they are
+// exact by construction:
+//
+//  1. comparison against a literal/constant zero (`if x == 0`) — the
+//     standard guard against division by zero and empty accumulators;
+//  2. self-comparison (`x != x`) — the portable NaN test;
+//  3. comparison where either side is an untyped constant expression —
+//     sentinel checks like `tol == DefaultTol` compare assignments, not
+//     arithmetic.
+//
+// Anything else needs //pglint:float-exact <reason> (e.g. bitwise replay
+// checks in determinism tooling).
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"powerrchol/internal/lint/directive"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "float-exact"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "floateq",
+	Doc:      "flag ==/!= between computed floats; exact comparison hides rounding and makes behaviour depend on code path, not value",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(be.Pos()).Filename, "_test.go") {
+			return
+		}
+		if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+			// Constant operands (0, math.MaxFloat64, DefaultTol, …) make the
+			// comparison a sentinel check: the other side either holds that
+			// exact bit pattern from an assignment or it does not.
+			return
+		}
+		if sameSimpleExpr(be.X, be.Y) {
+			return // x != x — the NaN idiom
+		}
+		if _, ok := dirs.Allow(be.Pos(), DirectiveName); ok {
+			return
+		}
+		pass.Reportf(be.Pos(), "exact %s between computed floats compares rounding noise; use a tolerance (or math.Abs(a-b) <= eps), or annotate //pglint:%s <reason>", be.Op, DirectiveName)
+	})
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant (literal,
+// named constant, or constant arithmetic).
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() != constant.Unknown
+}
+
+// sameSimpleExpr matches identical identifier/selector/index chains, the
+// shapes that occur in the x != x NaN test. Function calls never match:
+// f() != f() genuinely runs twice.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameSimpleExpr(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameSimpleExpr(x.X, y.X) && sameSimpleExpr(x.Index, y.Index)
+	case *ast.ParenExpr:
+		return sameSimpleExpr(x.X, b)
+	}
+	if p, ok := b.(*ast.ParenExpr); ok {
+		return sameSimpleExpr(a, p.X)
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/floateq"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), floateq.Analyzer,
+		"example.com/internal/pcg",
+	)
+}

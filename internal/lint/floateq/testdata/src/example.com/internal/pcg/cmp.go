@@ -1,0 +1,44 @@
+// Package pcg is a fixture for the float-comparison rules.
+package pcg
+
+import "math"
+
+const DefaultTol = 1e-6
+
+func Converged(res, prev float64) bool {
+	return res == prev // want `exact == between computed floats`
+}
+
+func Stalled(res, prev float64) bool {
+	return res != prev // want `exact != between computed floats`
+}
+
+func ZeroGuard(x float64) bool {
+	return x == 0 // literal-zero guard stays legal
+}
+
+func IsNaN(x float64) bool {
+	return x != x // the portable NaN test stays legal
+}
+
+func IsDefaultTol(tol float64) bool {
+	return tol == DefaultTol // constant sentinel check stays legal
+}
+
+func IsMax(x float64) bool {
+	return x == math.MaxFloat64 // stdlib constants too
+}
+
+func BitwiseReplay(a, b float64) bool {
+	//pglint:float-exact determinism check: replay must match bit for bit, tolerance would hide drift
+	return a == b
+}
+
+func Unjustified(a, b float64) bool {
+	//pglint:float-exact // want `directive needs a reason`
+	return a == b
+}
+
+func Tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= DefaultTol // the sanctioned comparison shape
+}

@@ -1,0 +1,33 @@
+// Package lint aggregates the pglint analyzer suite.
+//
+// pglint is this repository's compile-time determinism and
+// numerical-safety gate: five golang.org/x/tools/go/analysis analyzers
+// enforcing the invariants the test suite can only sample — no ambient
+// randomness or clock in the kernels, no map-order-dependent iteration,
+// no exact float comparison, no sync.Pool scratch leaks, no severed error
+// chains. Run it via `make lint`, which is `go vet -vettool=bin/pglint
+// ./...`. Suppressions are per-line //pglint:<name> <reason> annotations;
+// see internal/lint/directive for the grammar and DESIGN.md §9 for the
+// full policy.
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/bannedimport"
+	"powerrchol/internal/lint/errwrapcheck"
+	"powerrchol/internal/lint/floateq"
+	"powerrchol/internal/lint/maprange"
+	"powerrchol/internal/lint/poolleak"
+)
+
+// Analyzers returns the full pglint suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		bannedimport.Analyzer,
+		maprange.Analyzer,
+		floateq.Analyzer,
+		poolleak.Analyzer,
+		errwrapcheck.Analyzer,
+	}
+}

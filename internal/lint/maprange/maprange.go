@@ -1,0 +1,234 @@
+// Package maprange flags for-range loops over maps in the numeric and
+// ordering kernels.
+//
+// Go randomizes map iteration order per run, so any kernel whose output
+// depends on the order a map is walked is nondeterministic even with a
+// fixed seed — exactly the AMD supervariable-merge bug PR 1's determinism
+// suite had to hunt down. In packages classified numeric by
+// internal/lint/policy, ranging over a map is banned unless the loop is
+// provably order-insensitive. Three shapes are recognized as proof:
+//
+//  1. the clear idiom: for k := range m { delete(m, k) }
+//  2. count-only iteration that binds neither key nor value:
+//     for range m { n++ }
+//  3. collect-then-sort: the body is exactly `keys = append(keys, k)` and
+//     the first use of keys after the loop is a sort.* / slices.Sort*
+//     call.
+//
+// Anything else needs //pglint:ordered-irrelevant <reason> — a written
+// justification of why order cannot reach the output.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "ordered-irrelevant"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maprange",
+	Doc:      "flag order-dependent map iteration in numeric/ordering kernels; map order varies per run and breaks seed replayability",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !policy.Numeric(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rng := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if strings.HasSuffix(pass.Fset.Position(rng.Pos()).Filename, "_test.go") {
+			return true
+		}
+		if isClearIdiom(pass, rng) || isCountOnly(rng) || isCollectAndSort(pass, rng, stack) {
+			return true
+		}
+		if _, ok := dirs.Allow(rng.Pos(), DirectiveName); ok {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map is order-dependent and map order varies run to run; sort the keys first or annotate //pglint:%s <reason>", DirectiveName)
+		return true
+	})
+	return nil, nil
+}
+
+// isClearIdiom matches `for k := range m { delete(m, k) }` — the compiler
+// recognized map-clear loop, trivially order-insensitive.
+func isClearIdiom(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	es, ok := rng.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "delete" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	return sameObject(pass, call.Args[0], rng.X) && sameObject(pass, call.Args[1], rng.Key)
+}
+
+// isCountOnly matches `for range m { ... }`: with neither key nor value
+// bound, every iteration is identical, so order cannot matter.
+func isCountOnly(rng *ast.RangeStmt) bool {
+	return rng.Key == nil && rng.Value == nil
+}
+
+// isCollectAndSort matches the sanctioned determinization idiom: the body
+// is exactly one append of the key into a slice, and the first use of
+// that slice after the loop is a sort call.
+func isCollectAndSort(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	} else if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if !sameObject(pass, call.Args[0], lhs) {
+		return false
+	}
+	// second append arg must be the key, possibly through a conversion
+	arg := call.Args[1]
+	if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		arg = conv.Args[0]
+	}
+	if !sameObject(pass, arg, rng.Key) {
+		return false
+	}
+	keys := objOf(pass, lhs)
+	if keys == nil {
+		return false
+	}
+	// find the enclosing function body
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	// first use of keys after the loop, with its ancestor path
+	var firstUse *ast.Ident
+	var path []ast.Node
+	var cur []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			cur = cur[:len(cur)-1]
+			return false
+		}
+		cur = append(cur, n)
+		if id, ok := n.(*ast.Ident); ok && id.Pos() > rng.End() && objOf(pass, id) == keys {
+			if firstUse == nil || id.Pos() < firstUse.Pos() {
+				firstUse = id
+				path = append([]ast.Node(nil), cur...)
+			}
+		}
+		return true
+	})
+	if firstUse == nil {
+		return false
+	}
+	// the first use must sit inside a sort.*/slices.Sort* call
+	for _, n := range path {
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(obj.Name(), "Sort")
+	}
+	return false
+}
+
+// sameObject reports whether a and b are uses of the same variable (plain
+// identifiers only — selector chains are deliberately not matched, keeping
+// the proof conservative).
+func sameObject(pass *analysis.Pass, a, b ast.Expr) bool {
+	oa, ob := objOf(pass, a), objOf(pass, b)
+	return oa != nil && oa == ob
+}
+
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,15 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/linttest"
+	"powerrchol/internal/lint/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), maprange.Analyzer,
+		"example.com/internal/order",
+		"example.com/app",
+	)
+}

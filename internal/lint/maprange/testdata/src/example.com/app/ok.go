@@ -1,0 +1,11 @@
+// Package app is orchestration-layer code: maprange does not apply
+// outside the numeric kernels.
+package app
+
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

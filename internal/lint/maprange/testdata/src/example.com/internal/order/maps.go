@@ -1,0 +1,63 @@
+// Package order is a fixture standing in for a determinism-critical
+// kernel: ranging over a map here must be provably order-insensitive.
+package order
+
+import "sort"
+
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `range over map is order-dependent`
+		s += v // FP addition does not associate: order reaches the result
+	}
+	return s
+}
+
+func Clear(m map[int]float64) {
+	for k := range m {
+		delete(m, k) // the clear idiom is order-insensitive
+	}
+}
+
+func Count(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++ // binds neither key nor value: every iteration identical
+	}
+	return n
+}
+
+func SortedKeys(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // collect-then-sort: determinized before use
+	return keys
+}
+
+func UnsortedKeys(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `range over map is order-dependent`
+		keys = append(keys, k)
+	}
+	return keys // first use is the return, not a sort: order leaks out
+}
+
+func MaxValue(m map[int]float64) float64 {
+	best := 0.0
+	//pglint:ordered-irrelevant max is commutative and associative; any visit order yields the same result
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func Unjustified(m map[int]float64) {
+	//pglint:ordered-irrelevant // want `directive needs a reason`
+	for k, v := range m {
+		_ = k
+		_ = v
+	}
+}

@@ -1,0 +1,72 @@
+// Package policy classifies the packages of this module for the pglint
+// analyzers. The determinism and numerical-safety invariants are not
+// uniform across the tree: the numeric kernels must be bitwise replayable
+// from a seed, while the orchestration layer (solver front-end, benches,
+// CLIs) legitimately reads wall-clock time for telemetry. This package is
+// the single place that says which rules bind where, so the analyzers and
+// the documentation cannot drift apart.
+package policy
+
+import "strings"
+
+// numeric lists the module-relative paths of the numeric/ordering kernels:
+// every package whose output feeds the factorization or the PCG iteration
+// and therefore must be a pure function of (input matrix, seed). Inside
+// these packages pglint bans ambient time, flags map-order-dependent
+// iteration, and treats any nondeterminism as a bug. Subpackages inherit
+// the classification.
+var numeric = []string{
+	"internal/amg",
+	"internal/chol",
+	"internal/core",
+	"internal/fegrass",
+	"internal/graph",
+	"internal/ichol",
+	"internal/merge",
+	"internal/order",
+	"internal/pcg",
+	"internal/powergrid",
+	"internal/rng",
+	"internal/sparse",
+}
+
+// randSanctioned lists the packages allowed to import math/rand: only the
+// seeded-generator package itself, which exists precisely so nothing else
+// has to. (It currently implements splitmix64 without stdlib rand; the
+// exemption is for its own tests and future internals, not for callers.)
+var randSanctioned = []string{
+	"internal/rng",
+}
+
+// Rel reduces an import path to its module-relative form so the same
+// policy tables work for the real module ("powerrchol/internal/core") and
+// for analyzer test fixtures ("example.com/internal/core"). Paths that do
+// not contain an internal/ or cmd/ segment (the module root, examples)
+// are returned unchanged.
+func Rel(path string) string {
+	for _, marker := range []string{"internal/", "cmd/"} {
+		if i := strings.Index(path, marker); i >= 0 && (i == 0 || path[i-1] == '/') {
+			return path[i:]
+		}
+	}
+	return path
+}
+
+func inSet(path string, set []string) bool {
+	rel := Rel(path)
+	for _, p := range set {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Numeric reports whether the package at path is a numeric/ordering
+// kernel, i.e. subject to the strict determinism rules (maprange, the
+// time.Now ban).
+func Numeric(path string) bool { return inSet(path, numeric) }
+
+// RandSanctioned reports whether the package at path may import
+// math/rand or math/rand/v2.
+func RandSanctioned(path string) bool { return inSet(path, randSanctioned) }

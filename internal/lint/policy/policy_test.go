@@ -1,0 +1,40 @@
+package policy
+
+import "testing"
+
+func TestRel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"powerrchol/internal/core", "internal/core"},
+		{"example.com/internal/order", "internal/order"},
+		{"powerrchol/cmd/pglint", "cmd/pglint"},
+		{"powerrchol", "powerrchol"},
+		{"example.com/sprinternal/x", "example.com/sprinternal/x"}, // no false match mid-segment
+	} {
+		if got := Rel(tc.in); got != tc.want {
+			t.Errorf("Rel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	for _, tc := range []struct {
+		path            string
+		numeric, randOK bool
+	}{
+		{"powerrchol/internal/core", true, false},
+		{"powerrchol/internal/core/sub", true, false},
+		{"powerrchol/internal/order", true, false},
+		{"powerrchol/internal/rng", true, true},
+		{"powerrchol/internal/bench", false, false},
+		{"powerrchol", false, false},
+		{"powerrchol/cmd/pgsolve", false, false},
+		{"powerrchol/internal/corex", false, false}, // prefix must respect path segments
+	} {
+		if got := Numeric(tc.path); got != tc.numeric {
+			t.Errorf("Numeric(%q) = %v, want %v", tc.path, got, tc.numeric)
+		}
+		if got := RandSanctioned(tc.path); got != tc.randOK {
+			t.Errorf("RandSanctioned(%q) = %v, want %v", tc.path, got, tc.randOK)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package poolleak flags sync.Pool.Get calls that can reach a function
+// exit without the value being Put back.
+//
+// The solver's scratch pools (core.Factor, amg, ssor) exist so concurrent
+// SolveBatch workers reuse per-solve buffers instead of allocating them;
+// a Get whose Put is skipped on an early-return or error path silently
+// degrades the pool back to an allocator and, worse, hides aliasing bugs
+// that the race suite relies on the pool to expose. The analysis is
+// control-flow aware: for every Get on pool p it walks the function's CFG
+// and reports if some path reaches an exit without passing a Put on p.
+// A deferred Put — directly or inside a deferred closure — covers all
+// paths. Values that intentionally escape the function (handed to the
+// caller with a release callback) are annotated
+// //pglint:pool-escapes <reason>.
+package poolleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+
+	"powerrchol/internal/lint/directive"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "pool-escapes"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolleak",
+	Doc:      "flag sync.Pool.Get whose value can reach a function exit without a matching Put",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, dirs, fn.Body, cfgs.FuncDecl(fn))
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, dirs, fn.Body, cfgs.FuncLit(fn))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// poolCall identifies one Get/Put call: the call node plus the canonical
+// spelling of its receiver (e.g. "f.pool").
+type poolCall struct {
+	call *ast.CallExpr
+	key  string
+}
+
+func checkFunc(pass *analysis.Pass, dirs *directive.Index, body *ast.BlockStmt, g *cfg.CFG) {
+	gets, puts := collect(pass, body, false)
+	if len(gets) == 0 {
+		return
+	}
+	// Puts made inside nested closures (deferred cleanups, release
+	// callbacks built in this function) cover the key outright: the CFG of
+	// this function cannot see when they run, so treat them as intent.
+	_, closurePuts := collect(pass, body, true)
+	closureCovered := map[string]bool{}
+	for _, p := range closurePuts {
+		closureCovered[p.key] = true
+	}
+	deferred := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if key, ok := poolMethod(pass, d.Call, "Put"); ok {
+			deferred[key] = true
+		}
+		return true
+	})
+
+	putNodes := map[string][]*ast.CallExpr{}
+	for _, p := range puts {
+		putNodes[p.key] = append(putNodes[p.key], p.call)
+	}
+
+	for _, get := range gets {
+		if deferred[get.key] || closureCovered[get.key] {
+			continue
+		}
+		if _, ok := dirs.Allow(get.call.Pos(), DirectiveName); ok {
+			continue
+		}
+		if g == nil || leaks(g, get, putNodes[get.key]) {
+			pass.Reportf(get.call.Pos(), "sync.Pool Get on %s can reach a function exit without a Put: every return path must recycle the scratch (defer %s.Put(…) is the safe shape), or annotate //pglint:%s <reason>", get.key, get.key, DirectiveName)
+		}
+	}
+}
+
+// leaks reports whether some CFG path from the Get reaches an exit block
+// without passing one of the puts.
+func leaks(g *cfg.CFG, get poolCall, puts []*ast.CallExpr) bool {
+	hasPut := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			for _, p := range puts {
+				if m == p {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	contains := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == get.call {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// canEscape[b] = some path from the start of b reaches an exit without
+	// crossing a Put. Cycles resolve to false (a loop that never exits
+	// cannot leak at an exit).
+	memo := map[*cfg.Block]int{} // 0 unknown / in progress, 1 true, 2 false
+	var canEscape func(b *cfg.Block) bool
+	canEscape = func(b *cfg.Block) bool {
+		switch memo[b] {
+		case 1:
+			return true
+		case 2:
+			return false
+		}
+		memo[b] = 2 // in-progress: break cycles pessimistically (no leak)
+		for _, n := range b.Nodes {
+			if hasPut(n) {
+				return false
+			}
+		}
+		if len(b.Succs) == 0 {
+			memo[b] = 1
+			return true
+		}
+		for _, s := range b.Succs {
+			if canEscape(s) {
+				memo[b] = 1
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, n := range b.Nodes {
+			if !contains(n) {
+				continue
+			}
+			// Rest of this block after the Get, then successors.
+			for _, rest := range b.Nodes[i:] {
+				if hasPut(rest) && rest != n {
+					return false
+				}
+			}
+			if hasPut(n) && n != get.call {
+				return false // same statement also Puts (rare, but exact)
+			}
+			if len(b.Succs) == 0 {
+				return true
+			}
+			for _, s := range b.Succs {
+				if canEscape(s) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Get not found in the CFG (dead code): nothing to report.
+	return false
+}
+
+// collect gathers Get and Put calls on sync.Pool receivers under root.
+// With closures false it skips nested function literals (they are scopes
+// of their own); with closures true it returns only the calls inside
+// nested literals.
+func collect(pass *analysis.Pass, root *ast.BlockStmt, closures bool) (gets, puts []poolCall) {
+	var walk func(n ast.Node, inClosure bool)
+	walk = func(n ast.Node, inClosure bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			if lit, ok := m.(*ast.FuncLit); ok && m != n {
+				walk(lit.Body, true)
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, ok := poolMethod(pass, call, "Get"); ok && inClosure == closures {
+				gets = append(gets, poolCall{call, key})
+			}
+			if key, ok := poolMethod(pass, call, "Put"); ok && inClosure == closures {
+				puts = append(puts, poolCall{call, key})
+			}
+			return true
+		})
+	}
+	walk(root, false)
+	return gets, puts
+}
+
+// poolMethod reports whether call is pool.<name>() on a sync.Pool and
+// returns the canonical receiver spelling.
+func poolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !strings.Contains(recv.Type().String(), "sync.Pool") {
+		return "", false
+	}
+	return exprKey(sel.X), true
+}
+
+// exprKey renders an ident/selector chain ("p", "f.pool"); other shapes
+// get a position-independent fallback that never matches across sites.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.UnaryExpr:
+		return exprKey(x.X)
+	}
+	return "?"
+}

@@ -1,0 +1,14 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/linttest"
+	"powerrchol/internal/lint/poolleak"
+)
+
+func TestPoolLeak(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), poolleak.Analyzer,
+		"example.com/internal/core",
+	)
+}

@@ -1,0 +1,83 @@
+// Package core is a fixture for the sync.Pool Get/Put balance rules.
+package core
+
+import "sync"
+
+type factor struct {
+	pool sync.Pool
+	n    int
+}
+
+// Leak: the error path returns without recycling the scratch.
+func (f *factor) Bad(fail bool) error {
+	buf := f.pool.Get().([]float64) // want `can reach a function exit without a Put`
+	if fail {
+		return errFail
+	}
+	use(buf)
+	f.pool.Put(buf)
+	return nil
+}
+
+// Deferred Put covers every return path.
+func (f *factor) Deferred(fail bool) error {
+	buf := f.pool.Get().([]float64)
+	defer f.pool.Put(buf)
+	if fail {
+		return errFail
+	}
+	use(buf)
+	return nil
+}
+
+// Put on each explicit path is also fine.
+func (f *factor) AllPaths(fail bool) error {
+	buf := f.pool.Get().([]float64)
+	if fail {
+		f.pool.Put(buf)
+		return errFail
+	}
+	use(buf)
+	f.pool.Put(buf)
+	return nil
+}
+
+// A deferred closure that recycles covers the Get too.
+func (f *factor) DeferredClosure(fail bool) error {
+	buf := f.pool.Get().([]float64)
+	defer func() {
+		f.pool.Put(buf)
+	}()
+	if fail {
+		return errFail
+	}
+	use(buf)
+	return nil
+}
+
+// The value intentionally escapes with a release callback.
+func (f *factor) Escapes() ([]float64, func()) {
+	//pglint:pool-escapes scratch is handed to the caller; the returned release func recycles it
+	buf := f.pool.Get().([]float64)
+	return buf, func() { f.pool.Put(buf) }
+}
+
+// Two pools in one function: only the leaked one is reported.
+func (f *factor) TwoPools(other *sync.Pool, fail bool) {
+	a := f.pool.Get().([]float64)
+	defer f.pool.Put(a)
+	b := other.Get().([]float64) // want `can reach a function exit without a Put`
+	if fail {
+		return
+	}
+	use(b)
+	other.Put(b)
+}
+
+func use([]float64) {}
+
+var errFail = errOf("fail")
+
+type errOf string
+
+func (e errOf) Error() string { return string(e) }

@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from this file to the directory holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	dir := filepath.Dir(file)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above internal/lint")
+		}
+		dir = parent
+	}
+}
+
+func buildPglint(t *testing.T, root string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pglint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/pglint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building pglint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestPglintRepoClean is the tier-1 version of `make lint`: the whole
+// repository must pass the five pglint analyzers, so a new violation
+// fails `go test ./...` even on machines that never run the Makefile.
+func TestPglintRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pglint smoke test compiles the full repo; skipped in -short (race gate) runs")
+	}
+	root := repoRoot(t)
+	bin := buildPglint(t, root)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("pglint found violations (run `make lint` for the same view):\n%s", out)
+	}
+}
+
+// TestPglintCatchesViolation proves the vettool actually bites: a scratch
+// module with a banned import and an order-dependent map range must fail
+// `go vet -vettool` with both findings.
+func TestPglintCatchesViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short runs")
+	}
+	root := repoRoot(t)
+	bin := buildPglint(t, root)
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/scratch\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "math/rand"
+
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s * rand.Float64()
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("pglint passed a module with deliberate violations:\n%s", out)
+	}
+	for _, want := range []string{"import of math/rand is banned", "range over map is order-dependent"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package order
 
 import (
 	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
 )
 
 // Natural returns the identity ordering.
@@ -30,7 +31,15 @@ const HeavyEdgeFactor = 10.0
 // sort nodes by degree ascending (counting sort, O(n+m)), then within each
 // degree class move heavy nodes to the front. heavyFactor <= 0 selects
 // HeavyEdgeFactor; pass a huge value to disable the heavy rule (ablation).
-func Alg4(g *graph.Graph, heavyFactor float64) []int {
+//
+// Alg. 4 does not specify the order of ties — nodes with equal degree and
+// the same heaviness class. r != nil shuffles each tie segment with the
+// given seeded generator, so a retry rung can explore a different (but
+// replayable: same seed, same ordering) elimination order after a bad
+// draw. r == nil keeps the deterministic natural-order ties of the plain
+// counting sort. Randomness never crosses class boundaries: the ordering
+// stays degree-ascending with heavy nodes leading their class either way.
+func Alg4(g *graph.Graph, heavyFactor float64, r *rng.Rand) []int {
 	if heavyFactor <= 0 {
 		heavyFactor = HeavyEdgeFactor
 	}
@@ -62,13 +71,33 @@ func Alg4(g *graph.Graph, heavyFactor float64) []int {
 			next[deg[i]]++
 		}
 	}
+	var heavyEnd []int
+	if r != nil {
+		// next[d] currently marks the end of degree d's heavy segment.
+		heavyEnd = append([]int(nil), next[:maxDeg+1]...)
+	}
 	for i := 0; i < n; i++ { // remaining nodes
 		if wmax[i] <= threshold {
 			perm[next[deg[i]]] = i
 			next[deg[i]]++
 		}
 	}
+	if r != nil {
+		for d := 0; d <= maxDeg; d++ {
+			shuffle(perm[count[d]:heavyEnd[d]], r)
+			shuffle(perm[heavyEnd[d]:next[d]], r)
+		}
+	}
 	return perm
+}
+
+// shuffle is an in-place Fisher–Yates permutation drawn from the seeded
+// generator.
+func shuffle(s []int, r *rng.Rand) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
 }
 
 // RCM computes a reverse Cuthill-McKee ordering: BFS from a pseudo-

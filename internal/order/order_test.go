@@ -15,7 +15,7 @@ import (
 func allOrderings(g *graph.Graph) map[string][]int {
 	return map[string][]int{
 		"natural": Natural(g.N),
-		"alg4":    Alg4(g, 0),
+		"alg4":    Alg4(g, 0, nil),
 		"rcm":     RCM(g),
 		"amd":     AMD(g),
 		"nd":      ND(g),
@@ -92,7 +92,7 @@ func TestOrderingsOnDisconnectedGraph(t *testing.T) {
 func TestAlg4DegreeAscending(t *testing.T) {
 	r := rng.New(5)
 	g := testmat.RandomConnectedGraph(r, 80, 160)
-	p := Alg4(g, 0)
+	p := Alg4(g, 0, nil)
 	deg := g.Degrees()
 	for i := 1; i < len(p); i++ {
 		if deg[p[i-1]] > deg[p[i]] {
@@ -116,7 +116,7 @@ func TestAlg4HeavyNodesFirstWithinDegreeClass(t *testing.T) {
 		}
 		g.MustAddEdge(i, (i+1)%n, w)
 	}
-	p := Alg4(g, 0)
+	p := Alg4(g, 0, nil)
 	pos := make([]int, n)
 	for i, v := range p {
 		pos[v] = i
@@ -125,7 +125,7 @@ func TestAlg4HeavyNodesFirstWithinDegreeClass(t *testing.T) {
 		t.Errorf("heavy nodes 4,5 at positions %d,%d; want the first two slots", pos[4], pos[5])
 	}
 	// with the heavy rule disabled, the stable counting sort keeps node order
-	p2 := Alg4(g, 1e300)
+	p2 := Alg4(g, 1e300, nil)
 	for i, v := range p2 {
 		if v != i {
 			t.Fatalf("heavy rule not disabled: p2[%d] = %d", i, v)
@@ -283,6 +283,68 @@ func TestAMDFillMatchesOnStructuredGraphs(t *testing.T) {
 		t.Logf("%s: fill natural=%d amd=%d", name, natF.NNZ(), amdF.NNZ())
 		if amdF.NNZ() > natF.NNZ() {
 			t.Errorf("%s: AMD fill %d worse than natural %d", name, amdF.NNZ(), natF.NNZ())
+		}
+	}
+}
+
+// TestAlg4SeededTieBreak pins the contract of the randomized tie order:
+// replayable from the seed, different across seeds, and never violating
+// the degree-ascending / heavy-first structure of Alg. 4.
+func TestAlg4SeededTieBreak(t *testing.T) {
+	r := rng.New(7)
+	g := testmat.RandomConnectedGraph(r, 120, 260)
+
+	a := Alg4(g, 0, rng.New(42))
+	b := Alg4(g, 0, rng.New(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same tie-break seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+
+	c := Alg4(g, 0, rng.New(43))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different tie-break seeds produced the identical ordering (ties exist on a random graph; shuffle appears inert)")
+	}
+
+	if err := sparse.CheckPerm(a, g.N); err != nil {
+		t.Fatal(err)
+	}
+	deg := g.Degrees()
+	for i := 1; i < len(a); i++ {
+		if deg[a[i-1]] > deg[a[i]] {
+			t.Fatalf("shuffled Alg4 broke degree order at %d", i)
+		}
+	}
+}
+
+// TestAlg4SeededHeavyFirst: the shuffle must stay inside the heavy/light
+// segments of each degree class.
+func TestAlg4SeededHeavyFirst(t *testing.T) {
+	const n = 12
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if i == 4 {
+			w = 1000
+		}
+		g.MustAddEdge(i, (i+1)%n, w)
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		p := Alg4(g, 0, rng.New(seed))
+		pos := make([]int, n)
+		for i, v := range p {
+			pos[v] = i
+		}
+		if pos[4] > 1 || pos[5] > 1 {
+			t.Fatalf("seed %d: heavy nodes 4,5 at positions %d,%d; want the first two slots", seed, pos[4], pos[5])
 		}
 	}
 }

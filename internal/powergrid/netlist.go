@@ -93,7 +93,7 @@ func Parse(r io.Reader) (*Netlist, error) {
 		}
 		val, err := parseSpiceNumber(f[3])
 		if err != nil {
-			return nil, fmt.Errorf("powergrid: line %d: bad value %q: %v", lineNo, f[3], err)
+			return nil, fmt.Errorf("powergrid: line %d: bad value %q: %w", lineNo, f[3], err)
 		}
 		switch line[0] {
 		case 'R', 'r':
@@ -180,6 +180,7 @@ type System struct {
 func (nl *Netlist) BuildSystem() (*System, error) {
 	fixed := make(map[int]float64)
 	for _, v := range nl.VSources {
+		//pglint:float-exact duplicate-source check: two cards pinning one node conflict unless they parsed to the identical voltage
 		if prev, ok := fixed[v.Node]; ok && prev != v.Volts {
 			return nil, fmt.Errorf("powergrid: node %s pinned to both %g and %g",
 				nl.names[v.Node], prev, v.Volts)

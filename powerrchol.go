@@ -34,6 +34,7 @@ import (
 	"powerrchol/internal/merge"
 	"powerrchol/internal/order"
 	"powerrchol/internal/pcg"
+	"powerrchol/internal/rng"
 	"powerrchol/internal/sparse"
 )
 
@@ -145,7 +146,7 @@ type Options struct {
 	Ordering Ordering
 	Tol      float64 // relative residual target; default 1e-6
 	MaxIter  int     // default 500 (the paper's divergence cutoff)
-	Seed     uint64  // randomized factorization seed
+	Seed     uint64  // randomized factorization seed; retry rungs also derive their ordering tie-break stream from it
 
 	// Buckets overrides the LT-RChol counting-sort resolution (default 256).
 	Buckets int
@@ -366,10 +367,13 @@ func SolveSDD(a *sparse.CSC, b []float64, opt Options) (*Result, error) {
 	return res, err
 }
 
-func buildOrdering(sys *graph.SDDM, o Ordering, heavyFactor float64) []int {
+// buildOrdering computes the requested permutation. tie, when non-nil,
+// seeds Alg. 4's tie-break shuffle (see order.Alg4); every other ordering
+// is fully deterministic and ignores it.
+func buildOrdering(sys *graph.SDDM, o Ordering, heavyFactor float64, tie *rng.Rand) []int {
 	switch o {
 	case OrderAlg4:
-		return order.Alg4(sys.G, heavyFactor)
+		return order.Alg4(sys.G, heavyFactor, tie)
 	case OrderAMD:
 		return order.AMD(sys.G)
 	case OrderRCM:
@@ -397,6 +401,24 @@ type rung struct {
 // independent streams.
 func reseed(seed uint64, k int) uint64 {
 	return seed + uint64(k)*0x9e3779b97f4a7c15
+}
+
+// orderTieSalt decorrelates the ordering tie-break stream from the
+// factorization's sampling stream when both derive from the same attempt
+// seed ("order" in ASCII).
+const orderTieSalt = 0x6f72646572
+
+// orderTieRng derives the Alg. 4 tie-break generator for ladder attempt
+// k. The first attempt is nil: it keeps the paper's deterministic
+// counting-sort ties, so a single-attempt solve is bit-identical to the
+// historical behaviour. Retry rungs shuffle ties on a seeded stream of
+// their own, so a retry does not replay the exact elimination order that
+// just failed — while staying fully replayable from Options.Seed.
+func orderTieRng(seed uint64, attempt int) *rng.Rand {
+	if attempt == 0 {
+		return nil
+	}
+	return rng.New(seed ^ orderTieSalt)
 }
 
 // baseRung resolves the requested randomized method to its paper
@@ -479,7 +501,7 @@ func solveRandomized(ctx context.Context, sys *graph.SDDM, b []float64, opt Opti
 	for i, rg := range plan {
 		res := &Result{}
 		t0 := time.Now()
-		perm := buildOrdering(sys, rg.ordering, opt.HeavyFactor)
+		perm := buildOrdering(sys, rg.ordering, opt.HeavyFactor, orderTieRng(rg.seed, i))
 		res.Timings.Reorder = time.Since(t0)
 
 		t0 = time.Now()
@@ -621,7 +643,7 @@ func solveAMG(ctx context.Context, sys *graph.SDDM, b []float64, opt Options, c 
 func solveDirect(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
-	perm := buildOrdering(sys, orderOrAMD(opt.Ordering), opt.HeavyFactor)
+	perm := buildOrdering(sys, orderOrAMD(opt.Ordering), opt.HeavyFactor, nil)
 	res.Timings.Reorder = time.Since(t0)
 
 	t0 = time.Now()

@@ -76,7 +76,7 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 		err = s.setupFeGRASS()
 	case MethodDirect:
 		t0 := time.Now()
-		perm := buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor)
+		perm := buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor, nil)
 		s.setupReorder = time.Since(t0)
 		t0 = time.Now()
 		var f *core.Factor
@@ -133,7 +133,7 @@ func (s *Solver) setupRandomized(ctx context.Context) error {
 	plan := attemptPlan(s.opt)
 	for i, rg := range plan {
 		t0 := time.Now()
-		perm := buildOrdering(s.sys, rg.ordering, s.opt.HeavyFactor)
+		perm := buildOrdering(s.sys, rg.ordering, s.opt.HeavyFactor, orderTieRng(rg.seed, i))
 		s.setupReorder = time.Since(t0)
 
 		t0 = time.Now()
