@@ -6,12 +6,18 @@
 package chol
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"powerrchol/internal/core"
 	"powerrchol/internal/sparse"
 )
+
+// cancelCheckStride is how many columns are factorized between context
+// polls, matching core's stride: frequent enough that cancellation lands
+// within microseconds, rare enough to stay invisible in profiles.
+const cancelCheckStride = 1024
 
 // EliminationTree computes the elimination tree of a symmetric matrix
 // given in CSC with both triangles stored. parent[j] = -1 marks a root.
@@ -73,6 +79,17 @@ func ereach(a *sparse.CSC, k int, parent []int, s []int, stamp []int, curStamp i
 // reuses core.Factor so it plugs into PCG as a preconditioner or acts as
 // a direct solver via Apply.
 func Factorize(a *sparse.CSC, perm []int) (*core.Factor, error) {
+	return FactorizeContext(context.Background(), a, perm)
+}
+
+// FactorizeContext is Factorize under a context: ctx is polled every
+// cancelCheckStride columns in both the symbolic and numeric passes, and
+// a cancelled or expired context aborts the factorization with an error
+// wrapping ctx.Err(). A nil ctx means never cancelled.
+func FactorizeContext(ctx context.Context, a *sparse.CSC, perm []int) (*core.Factor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("chol: matrix is %dx%d, not square", a.Rows, a.Cols)
 	}
@@ -95,6 +112,11 @@ func Factorize(a *sparse.CSC, perm []int) (*core.Factor, error) {
 	// Symbolic pass: column counts via ereach.
 	counts := make([]int, n) // entries strictly below the diagonal
 	for k := 0; k < n; k++ {
+		if k%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("chol: symbolic pass cancelled at column %d of %d: %w", k, n, err)
+			}
+		}
 		for top := ereach(work, k, parent, s, stamp, k); top < n; top++ {
 			counts[s[top]]++
 		}
@@ -114,6 +136,11 @@ func Factorize(a *sparse.CSC, perm []int) (*core.Factor, error) {
 	}
 
 	for k := 0; k < n; k++ {
+		if k%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("chol: factorization cancelled at column %d of %d: %w", k, n, err)
+			}
+		}
 		top := ereach(work, k, parent, s, stamp, n+k)
 		// Scatter the upper part of column k of A into x.
 		d := 0.0

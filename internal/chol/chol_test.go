@@ -1,6 +1,8 @@
 package chol
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -140,5 +142,25 @@ func TestCholeskyFillOnGridOrderingSensitivity(t *testing.T) {
 	}
 	if nat.NNZ() < a.NNZ()/2 {
 		t.Fatalf("complete factor suspiciously sparse: %d vs A %d", nat.NNZ(), a.NNZ())
+	}
+}
+
+func TestFactorizeContextCancelled(t *testing.T) {
+	r := rng.New(7)
+	s := testmat.RandomSDDM(r, 40, 80)
+	a := s.ToCSC()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FactorizeContext(ctx, a, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FactorizeContext with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// A live context and a nil context both factorize normally.
+	if _, err := FactorizeContext(context.Background(), a, nil); err != nil {
+		t.Fatalf("FactorizeContext with live ctx: %v", err)
+	}
+	if _, err := FactorizeContext(nil, a, nil); err != nil { //nolint:staticcheck // nil ctx is documented as "never cancelled"
+		t.Fatalf("FactorizeContext with nil ctx: %v", err)
 	}
 }

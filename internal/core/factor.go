@@ -53,6 +53,7 @@ func (f *Factor) Parallelize(workers int) {
 func (f *Factor) getWork() []float64 {
 	//pglint:pool-escapes checkout helper: Apply owns the buffer and recycles it via putWork on its only exit
 	if w, ok := f.pool.Get().([]float64); ok && len(w) == f.N {
+		//pglint:poolescape checkout helper: ownership transfers to Apply, which recycles via putWork on its only exit
 		return w
 	}
 	return make([]float64, f.N)

@@ -158,8 +158,10 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 			u, v = v, u
 		}
 		if adj[u] == nil {
+			//pglint:hotalloc one-time adjacency build: capacity comes from deg0, one make per vertex over the whole setup
 			adj[u] = make([]halfedge, 0, deg0[u]+2)
 		}
+		//pglint:hotalloc capacity reserved from deg0 above; grows only for sampled fill beyond the +2 slack
 		adj[u] = append(adj[u], halfedge{to: int32(v), w: e.W})
 	}
 
@@ -208,7 +210,9 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 				wts[p] += he.w
 			} else {
 				pos[he.to] = int32(len(nbr))
+				//pglint:hotalloc nbr/wts are per-factorization scratch reset with [:0]; growth stops at the max live degree
 				nbr = append(nbr, he.to)
+				//pglint:hotalloc same scratch discipline as nbr above
 				wts = append(wts, he.w)
 			}
 		}
@@ -235,7 +239,9 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 		rowIdx = append(rowIdx, k)
 		val = append(val, sq)
 		for i, v := range nbr {
+			//pglint:hotalloc rowIdx accumulates the factor itself; growth is amortized doubling over the whole factorization
 			rowIdx = append(rowIdx, int(v))
+			//pglint:hotalloc same factor-output accumulation as rowIdx above
 			val = append(val, -wts[i]/sq)
 		}
 		colPtr[k+1] = len(rowIdx)
@@ -302,6 +308,7 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 					if l >= deg {
 						l = deg - 1
 					}
+					//pglint:hotalloc sampled fill lands in adj, the structure being built; growth beyond the deg0+2 slack is the algorithm's output, amortized doubling
 					addSampledEdge(adj, nbr[j], nbr[l], suffix*wts[j]*invSamples/dk)
 				}
 			default: // VariantRChol and VariantHybrid: independent binary searches
@@ -315,6 +322,7 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 					if l >= deg {
 						l = deg - 1
 					}
+					//pglint:hotalloc sampled fill lands in adj, the structure being built; growth beyond the deg0+2 slack is the algorithm's output, amortized doubling
 					addSampledEdge(adj, nbr[j], nbr[l], suffix*wts[j]*invSamples/dk)
 				}
 			}

@@ -50,6 +50,7 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	}
 	buf := make([]uint64, 0, f.N+1)
 	for _, v := range f.L.ColPtr {
+		//pglint:hotalloc serialization path, runs once per factor; capacity reserved for ColPtr above
 		buf = append(buf, uint64(v))
 	}
 	if err := put(buf); err != nil {
@@ -57,6 +58,7 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	}
 	buf = buf[:0]
 	for _, v := range f.L.RowIdx {
+		//pglint:hotalloc serialization path, runs once per factor; growth to nnz is amortized doubling
 		buf = append(buf, uint64(v))
 	}
 	if err := put(buf); err != nil {
@@ -68,6 +70,7 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	if f.Perm != nil {
 		buf = buf[:0]
 		for _, v := range f.Perm {
+			//pglint:hotalloc serialization path, runs once per factor; buf already sized by the RowIdx pass
 			buf = append(buf, uint64(v))
 		}
 		if err := put(buf); err != nil {
@@ -118,6 +121,7 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 			if err := binary.Read(br, binary.LittleEndian, b); err != nil {
 				return nil, err
 			}
+			//pglint:hotalloc deserialization path; chunked growth is the OOM guard documented above, not per-solve churn
 			out = append(out, b...)
 		}
 		return out, nil
@@ -130,6 +134,7 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 			if err := binary.Read(br, binary.LittleEndian, b); err != nil {
 				return nil, err
 			}
+			//pglint:hotalloc deserialization path; chunked growth is the OOM guard documented above, not per-solve churn
 			out = append(out, b...)
 		}
 		return out, nil

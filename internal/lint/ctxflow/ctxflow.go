@@ -1,0 +1,392 @@
+// Package ctxflow enforces the cancellation contract PR 2 threaded
+// through the solve pipeline: a context, once received, must flow.
+//
+// Four rules, all suppressed by //pglint:ctxflow <reason>:
+//
+//  1. Library packages (everything except cmd/* and examples/*) must not
+//     mint contexts with context.Background or context.TODO — the caller
+//     owns the lifetime. Two shapes are sanctioned because they ARE the
+//     public ctx-less API surface: `return F(context.Background(), …)`
+//     inside a function that itself has no context parameter (the
+//     Solve → SolveContext wrapper), and `ctx = context.Background()`
+//     guarded by `if ctx == nil` (nil-normalization).
+//  2. A function that carries a context — a context.Context parameter,
+//     or a parameter struct with a context.Context field, the
+//     core.Options.Ctx pattern — must not shadow it by passing a fresh
+//     Background()/TODO() to a callee.
+//  3. A carrying function must not call the ctx-less variant of an API
+//     that has a Context sibling: calling F(…) when F's package or
+//     receiver also offers FContext(ctx, …) severs the chain exactly the
+//     way s.Solve(b) inside SolveBatchContext would.
+//  4. In numeric packages (internal/lint/policy), every outermost loop of
+//     a carrying function that does real work (contains a call or a
+//     nested loop) must reach a cancellation check: ctx.Err(), ctx.Done(),
+//     or delegation — passing the context (or the struct carrying it) to
+//     a callee. This is the machine check for Alg. 3's every-1024-pivots
+//     rule and PCG's per-iteration check.
+//
+// ctxflow is also the suite's directive janitor: it reports //pglint:
+// directives whose name no analyzer owns (see KnownDirectives).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+	"powerrchol/internal/lint/ssalite"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "ctxflow"
+
+// KnownDirectives is the full set of directive names the pglint suite
+// honors, installed by the internal/lint registry. When empty (an
+// analyzer unit test that did not import the registry), unknown-directive
+// reporting is disabled.
+var KnownDirectives []string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "a received context.Context must flow to every callee that accepts one; no ambient Background/TODO in library code; numeric loops must reach a cancellation check",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	if len(KnownDirectives) > 0 {
+		dirs.ReportUnknown(pass, KnownDirectives)
+	}
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+
+	for _, fn := range prog.Funcs {
+		if isTestFile(pass, fn.Body) {
+			continue
+		}
+		checkFunc(pass, dirs, fn)
+	}
+	return nil, nil
+}
+
+func isTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+func checkFunc(pass *analysis.Pass, dirs *directive.Index, fn *ssalite.Function) {
+	carries := carriesContext(fn)
+	lib := policy.Library(pass.Pkg.Path())
+
+	for _, c := range fn.Calls {
+		switch {
+		case isBackgroundOrTODO(pass, c):
+			reportMint(pass, dirs, fn, c, carries, lib)
+		case carries:
+			checkSeveredSibling(pass, dirs, c)
+		}
+	}
+	if carries && policy.Numeric(pass.Pkg.Path()) {
+		checkLoopCancellation(pass, dirs, fn)
+	}
+}
+
+// carriesContext reports whether fn receives a cancellation signal: a
+// context.Context parameter or a parameter whose struct type carries a
+// context.Context field (the Options.Ctx pattern).
+func carriesContext(fn *ssalite.Function) bool {
+	if fn.Sig == nil {
+		return false
+	}
+	params := fn.Sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeCarriesContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeCarriesContext(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isBackgroundOrTODO matches calls to context.Background / context.TODO.
+func isBackgroundOrTODO(pass *analysis.Pass, c *ssalite.Call) bool {
+	if c.Callee == nil || c.Callee.Pkg() == nil {
+		return false
+	}
+	return c.Callee.Pkg().Path() == "context" &&
+		(c.Callee.Name() == "Background" || c.Callee.Name() == "TODO")
+}
+
+// reportMint applies rules 1/2 to one Background()/TODO() call site.
+func reportMint(pass *analysis.Pass, dirs *directive.Index, fn *ssalite.Function, c *ssalite.Call, carries, lib bool) {
+	if isNilNormalization(fn, c.Expr) {
+		return // `if ctx == nil { ctx = context.Background() }` is the contract for nil ctx
+	}
+	if carries {
+		if _, ok := dirs.Allow(c.Expr.Pos(), DirectiveName); ok {
+			return
+		}
+		pass.Reportf(c.Expr.Pos(), "context.%s inside a function that already carries a context severs the cancellation chain: pass the received context instead, or annotate //pglint:%s <reason>", c.Callee.Name(), DirectiveName)
+		return
+	}
+	if !lib {
+		return // binaries and examples are where root contexts originate
+	}
+	if isWrapperDelegation(fn, c.Expr) {
+		return
+	}
+	if _, ok := dirs.Allow(c.Expr.Pos(), DirectiveName); ok {
+		return
+	}
+	pass.Reportf(c.Expr.Pos(), "context.%s in library code: the caller owns the context lifetime — accept a ctx parameter (ctx-less wrappers may `return F(context.Background(), …)`), or annotate //pglint:%s <reason>", c.Callee.Name(), DirectiveName)
+}
+
+// isWrapperDelegation matches `return F(context.Background(), …)` in a
+// ctx-less function: the shape of the public Solve → SolveContext
+// wrappers, where the root context legitimately originates.
+func isWrapperDelegation(fn *ssalite.Function, mint *ast.CallExpr) bool {
+	var sanctioned bool
+	inspectOwn(fn, func(n ast.Node) {
+		s, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range s.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				for _, arg := range call.Args {
+					if ast.Unparen(arg) == mint {
+						sanctioned = true
+					}
+				}
+			}
+		}
+	})
+	return sanctioned
+}
+
+// isNilNormalization matches `if ctx == nil { ctx = context.Background() }`.
+func isNilNormalization(fn *ssalite.Function, mint *ast.CallExpr) bool {
+	var sanctioned bool
+	inspectOwn(fn, func(n ast.Node) {
+		s, ok := n.(*ast.IfStmt)
+		if !ok || !isNilCheck(s.Cond) {
+			return
+		}
+		ast.Inspect(s.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				if ast.Unparen(rhs) == mint {
+					sanctioned = true
+				}
+			}
+			return true
+		})
+	})
+	return sanctioned
+}
+
+// inspectOwn walks fn's body without descending into nested literals
+// (they are Functions of their own) and calls visit on every node.
+func inspectOwn(fn *ssalite.Function, visit func(ast.Node)) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && fn.Lit != lit {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func isNilCheck(cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return be.Op.String() == "==" && (isNil(be.X) || isNil(be.Y))
+}
+
+// checkSeveredSibling applies rule 3: calling F when FContext exists.
+func checkSeveredSibling(pass *analysis.Pass, dirs *directive.Index, c *ssalite.Call) {
+	callee := c.Callee
+	if callee == nil || c.Sig == nil || acceptsContext(c.Sig) {
+		return
+	}
+	sibling := contextSibling(callee)
+	if sibling == nil {
+		return
+	}
+	if _, ok := dirs.Allow(c.Expr.Pos(), DirectiveName); ok {
+		return
+	}
+	pass.Reportf(c.Expr.Pos(), "%s has a context-accepting sibling %s: calling the ctx-less variant from a context-carrying function severs the cancellation chain (annotate //pglint:%s <reason> if deliberate)", callee.Name(), sibling.Name(), DirectiveName)
+}
+
+func acceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeCarriesContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextSibling finds <name>Context next to callee: a method on the same
+// receiver type, or a function in the same package, whose first
+// parameter is a context.Context.
+func contextSibling(callee *types.Func) *types.Func {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	want := callee.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want && firstParamIsContext(m) {
+				return m
+			}
+		}
+		return nil
+	}
+	if callee.Pkg() == nil {
+		return nil
+	}
+	if obj, ok := callee.Pkg().Scope().Lookup(want).(*types.Func); ok && firstParamIsContext(obj) {
+		return obj
+	}
+	return nil
+}
+
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	return params.Len() > 0 && isContextType(params.At(0).Type())
+}
+
+// checkLoopCancellation applies rule 4 to fn's outermost working loops.
+func checkLoopCancellation(pass *analysis.Pass, dirs *directive.Index, fn *ssalite.Function) {
+	for _, l := range fn.Loops {
+		if l.Depth != 1 || !doesWork(fn, l) {
+			continue
+		}
+		if loopTouchesContext(pass, l.Body) {
+			continue
+		}
+		if _, ok := dirs.Allow(l.Stmt.Pos(), DirectiveName); ok {
+			continue
+		}
+		pass.Reportf(l.Stmt.Pos(), "loop in a context-carrying numeric kernel never reaches a cancellation check: call ctx.Err() on a stride (Alg. 3 checks every 1024 pivots), select on ctx.Done(), or delegate by passing the context; annotate //pglint:%s <reason> if provably short", DirectiveName)
+	}
+}
+
+// doesWork reports whether l contains a call or a nested loop — the
+// loops long enough that an unbounded run without a cancellation check
+// matters. Straight-line initialization sweeps are exempt.
+func doesWork(fn *ssalite.Function, l *ssalite.Loop) bool {
+	if !l.Inner {
+		return true
+	}
+	for _, c := range fn.Calls {
+		if inLoop(c.Loop, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func inLoop(at, want *ssalite.Loop) bool {
+	for ; at != nil; at = at.Parent {
+		if at == want {
+			return true
+		}
+	}
+	return false
+}
+
+// loopTouchesContext scans the loop body (nested literals included: a
+// per-level closure that checks ctx still guards the loop) for
+// cancellation evidence.
+func loopTouchesContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// ctx.Err() / ctx.Done() on any context.Context-typed receiver.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextExpr(pass, sel.X) {
+					found = true
+					return false
+				}
+			}
+			// Delegation: any argument of context (or context-carrying
+			// struct) type hands the cancellation signal downstream.
+			for _, arg := range x.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && typeCarriesContext(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isContextExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && isContextType(t)
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/ctxflow"
+	"powerrchol/internal/lint/linttest"
+
+	// Importing the registry installs ctxflow.KnownDirectives, enabling
+	// unknown-directive reporting — the production configuration.
+	_ "powerrchol/internal/lint"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), ctxflow.Analyzer,
+		"example.com/internal/core",
+		"example.com/cmd/tool",
+	)
+}

@@ -1,0 +1,14 @@
+// Command tool is a fixture: binaries are where root contexts originate,
+// so minting Background here is allowed. A misspelled directive is still
+// reported — it suppresses nothing anywhere.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	//pglint:ctxflows typo'd name never silences anything // want `does not name any pglint directive`
+	run(ctx)
+}
+
+func run(ctx context.Context) { _ = ctx }

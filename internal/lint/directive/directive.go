@@ -1,6 +1,6 @@
 // Package directive parses //pglint: suppression annotations.
 //
-// Grammar (one directive per comment, reason mandatory):
+// Grammar (reason mandatory):
 //
 //	//pglint:<name> <reason>
 //
@@ -11,6 +11,14 @@
 // does not belong to. A directive without a reason is itself reported by
 // the owning analyzer: the whole point of the annotation is to leave a
 // written justification in the code.
+//
+// A single comment may carry several directives back to back —
+// //pglint:a <reason> //pglint:b <reason> — when one line trips more than
+// one analyzer; each directive's reason runs up to the next //pglint:
+// marker. A directive whose name matches no registered analyzer is dead
+// weight and is reported by the suite (see ReportUnknown): it suppresses
+// nothing, and silently keeping it around hides the typo that disarmed a
+// suppression.
 package directive
 
 import (
@@ -33,6 +41,54 @@ type Directive struct {
 	Line   int       // line the directive applies to (its own line)
 }
 
+// Parse extracts every pglint directive from the text of one comment.
+// Pos and Line are left zero: they are position facts of the enclosing
+// file, filled in by the Index. Parse is a pure function of its input so
+// it can be table- and fuzz-tested without a token.FileSet; it tolerates
+// CRLF line endings and trailing whitespace, and splits multi-directive
+// comments at each //pglint: marker.
+func Parse(text string) []Directive {
+	if !strings.HasPrefix(text, Prefix) {
+		return nil
+	}
+	// Comment text from go/parser is a single logical line for // comments,
+	// but raw text handed to Parse (fuzzing, CRLF sources) may carry \r or
+	// embedded newlines: a directive never spans lines.
+	text = strings.TrimRight(text, "\r\n")
+	if i := strings.IndexAny(text, "\n\r"); i >= 0 {
+		text = text[:i]
+	}
+	var out []Directive
+	for _, chunk := range splitDirectives(text) {
+		rest := strings.TrimPrefix(chunk, Prefix)
+		name, reason, _ := strings.Cut(rest, " ")
+		// Tolerate a trailing analysistest-style expectation so fixture files
+		// can assert on malformed directives: it is never part of the reason.
+		if i := strings.Index(reason, "// want"); i >= 0 {
+			reason = reason[:i]
+		}
+		out = append(out, Directive{Name: name, Reason: strings.TrimSpace(reason)})
+	}
+	return out
+}
+
+// splitDirectives cuts a comment at each //pglint: marker, so
+// "//pglint:a x //pglint:b y" yields two chunks each starting with the
+// prefix.
+func splitDirectives(text string) []string {
+	var chunks []string
+	for {
+		next := strings.Index(text[len(Prefix):], Prefix)
+		if next < 0 {
+			chunks = append(chunks, text)
+			return chunks
+		}
+		cut := next + len(Prefix)
+		chunks = append(chunks, strings.TrimRight(text[:cut], " \t"))
+		text = text[cut:]
+	}
+}
+
 // An Index holds every pglint directive of a package, keyed by file line.
 type Index struct {
 	fset  *token.FileSet
@@ -53,24 +109,21 @@ func New(pass *analysis.Pass) *Index {
 }
 
 func (ix *Index) add(c *ast.Comment) {
-	if !strings.HasPrefix(c.Text, Prefix) {
+	ds := Parse(c.Text)
+	if len(ds) == 0 {
 		return
 	}
-	rest := strings.TrimPrefix(c.Text, Prefix)
-	name, reason, _ := strings.Cut(rest, " ")
-	// Tolerate a trailing analysistest-style expectation so fixture files
-	// can assert on malformed directives: it is never part of the reason.
-	if i := strings.Index(reason, "// want"); i >= 0 {
-		reason = reason[:i]
-	}
 	pos := ix.fset.Position(c.Pos())
-	d := Directive{Name: name, Reason: strings.TrimSpace(reason), Pos: c.Pos(), Line: pos.Line}
 	m := ix.byPos[pos.Filename]
 	if m == nil {
 		m = make(map[int][]Directive)
 		ix.byPos[pos.Filename] = m
 	}
-	m[d.Line] = append(m[d.Line], d)
+	for _, d := range ds {
+		d.Pos = c.Pos()
+		d.Line = pos.Line
+		m[d.Line] = append(m[d.Line], d)
+	}
 }
 
 // Allow reports whether a directive with the given name covers pos: either
@@ -98,6 +151,32 @@ func (ix *Index) Validate(pass *analysis.Pass, name string) {
 			for _, d := range ds {
 				if d.Name == name && d.Reason == "" {
 					pass.Reportf(d.Pos, "pglint:%s directive needs a reason: write //pglint:%s <why this is safe>", name, name)
+				}
+			}
+		}
+	}
+}
+
+// ReportUnknown reports every directive whose name is not in known. A
+// misspelled directive suppresses nothing — the finding it was meant to
+// silence still fires — but the comment outlives the finding and reads as
+// an active suppression, so it must be flagged. Exactly one analyzer in
+// the suite calls this (ctxflow, which runs on every package), keeping
+// each unknown name reported once per file.
+func (ix *Index) ReportUnknown(pass *analysis.Pass, known []string) {
+	isKnown := func(name string) bool {
+		for _, k := range known {
+			if name == k {
+				return true
+			}
+		}
+		return false
+	}
+	for _, lines := range ix.byPos {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if !isKnown(d.Name) {
+					pass.Reportf(d.Pos, "pglint:%s does not name any pglint directive (it suppresses nothing); the suite honors: %s", d.Name, strings.Join(known, ", "))
 				}
 			}
 		}

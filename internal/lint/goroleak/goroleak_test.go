@@ -1,0 +1,14 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/goroleak"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), goroleak.Analyzer,
+		"example.com/internal/core",
+	)
+}

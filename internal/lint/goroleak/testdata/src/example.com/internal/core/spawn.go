@@ -1,0 +1,102 @@
+// Package core is a fixture for the goroleak termination rules.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// Allowed: WaitGroup discipline bounds every worker.
+func FanOut(parts [][]float64) {
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			for i := range p {
+				p[i] *= 2
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Allowed: draining a channel the coordinator closes.
+func Worker(jobs chan []float64) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// Allowed: the ctx.Done() select is a receive.
+func Watch(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// Allowed: a straight-line body returns by construction.
+func Notify(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// Flagged: a looping goroutine with no exit signal never stops.
+func Spin(vals []float64) {
+	go func() { // want `no WaitGroup Done, channel receive`
+		for {
+			for i := range vals {
+				vals[i] *= 0.5
+			}
+		}
+	}()
+}
+
+// Allowed: named worker declared in this package is inspected directly.
+func SpawnNamed(jobs chan []float64) {
+	go drain(jobs)
+}
+
+func drain(jobs chan []float64) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// Flagged: the named callee loops with no termination path.
+func SpawnHot(vals []float64) {
+	go churn(vals) // want `no WaitGroup Done, channel receive`
+}
+
+// Allowed: the identical spawn under a justified annotation.
+func SpawnHotPinned(vals []float64) {
+	//pglint:goroleak fixture: busy worker lives exactly as long as the process
+	go churn(vals)
+}
+
+func churn(vals []float64) {
+	for {
+		for i := range vals {
+			vals[i] *= 0.5
+		}
+	}
+}
+
+// Allowed: an opaque callee handed a context can stop itself.
+func SpawnOpaque(ctx context.Context, run func(context.Context)) {
+	go run(ctx)
+}
+
+// Flagged: an opaque callee with no signal to obey.
+func SpawnBlind(run func(int)) {
+	go run(0) // want `passes it no context, channel, or WaitGroup`
+}

@@ -1,0 +1,163 @@
+// Package hotalloc flags heap allocations in the innermost loops of the
+// hot kernel packages (internal/sparse, internal/chol, internal/core,
+// internal/pcg — see internal/lint/policy).
+//
+// The paper's complexity argument is allocation-free inner loops: LT-RChol
+// wins because one elimination step costs O(|Nk|) merge-scan work, and a
+// make/append/boxing in that loop (or in the per-neighbor sampling loops
+// of RChol) silently replaces the bound with allocator churn — exactly
+// the regression class Chen/Liang/Biros call out for randomized Cholesky.
+// Two rules, on ssalite's IR:
+//
+//  1. Direct: an SSA-visible allocation (make, new, growing append,
+//     capturing closure, slice/map/&composite literal, interface boxing,
+//     []byte(string)) lexically inside an innermost loop.
+//  2. Interprocedural, one level: a call inside an innermost loop whose
+//     statically resolved callee is declared in the same package and
+//     itself allocates anywhere — the helper the allocation hides in
+//     (addSampledEdge-style).
+//
+// Cold exits are exempt: an allocation inside an if-block that ends by
+// returning or panicking (the error path constructing its diagnostic)
+// runs at most once per loop, not per iteration. Everything else needs
+// //pglint:hotalloc <reason> — typically "amortized by capacity check" or
+// "bounded by Workers".
+package hotalloc
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+	"powerrchol/internal/lint/ssalite"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "hotalloc"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotalloc",
+	Doc:      "flag heap allocations (direct or via a same-package helper) in innermost loops of the hot kernel packages",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	if !policy.Hot(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+
+	for _, fn := range prog.Funcs {
+		if strings.HasSuffix(pass.Fset.Position(fn.Body.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Rule 1: direct allocations in innermost loops.
+		for _, a := range fn.Allocs {
+			if a.Loop == nil || !a.Loop.Inner || coldPath(fn, a.Node) {
+				continue
+			}
+			if _, ok := dirs.Allow(a.Node.Pos(), DirectiveName); ok {
+				continue
+			}
+			pass.Reportf(a.Node.Pos(), "%s in an innermost loop of a hot kernel: hoist it to reusable scratch (sync.Pool or a caller-owned buffer), or annotate //pglint:%s <reason>", a.Kind, DirectiveName)
+		}
+		// Rule 2: innermost-loop calls into same-package helpers that
+		// allocate. One level deep: the helper's own callees are its
+		// own report sites.
+		for _, c := range fn.Calls {
+			if c.Loop == nil || !c.Loop.Inner || coldPath(fn, c.Expr) {
+				continue
+			}
+			callee := prog.FuncDeclOf(c.Callee)
+			if callee == nil || len(callee.Allocs) == 0 {
+				continue
+			}
+			// The callee may allocate only on its own cold paths.
+			var hot *ssalite.Alloc
+			for _, a := range callee.Allocs {
+				if !coldPath(callee, a.Node) {
+					hot = a
+					break
+				}
+			}
+			if hot == nil {
+				continue
+			}
+			if _, ok := dirs.Allow(c.Expr.Pos(), DirectiveName); ok {
+				continue
+			}
+			pos := pass.Fset.Position(hot.Node.Pos())
+			pass.Reportf(c.Expr.Pos(), "call to %s in an innermost loop of a hot kernel reaches a %s (%s:%d): hoist the allocation or pass scratch in, or annotate //pglint:%s <reason>", c.Callee.Name(), hot.Kind, shortFile(pos.Filename), pos.Line, DirectiveName)
+		}
+	}
+	return nil, nil
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// coldPath reports whether node sits inside an if/else block (or a
+// select/case body) that terminates by return or panic — the error-exit
+// shape, which executes at most once however hot the loop is.
+func coldPath(fn *ssalite.Function, node ast.Node) bool {
+	// Find the path from the function body down to node.
+	var path []ast.Node
+	var cur []ast.Node
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == nil {
+			cur = cur[:len(cur)-1]
+			return false
+		}
+		cur = append(cur, n)
+		if n == node {
+			path = append([]ast.Node(nil), cur...)
+			found = true
+			return false
+		}
+		return true
+	})
+	for i := len(path) - 1; i > 0; i-- {
+		blk, ok := path[i].(*ast.BlockStmt)
+		if !ok || len(blk.List) == 0 {
+			continue
+		}
+		if _, isIf := path[i-1].(*ast.IfStmt); !isIf {
+			continue
+		}
+		if terminates(blk.List[len(blk.List)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether s unconditionally leaves the enclosing
+// function (return, panic, or an os.Exit-like bare call is not modeled —
+// return/panic cover the kernels' error exits).
+func terminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

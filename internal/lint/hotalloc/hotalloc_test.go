@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/hotalloc"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), hotalloc.Analyzer,
+		"example.com/internal/sparse",
+		"example.com/internal/io",
+	)
+}

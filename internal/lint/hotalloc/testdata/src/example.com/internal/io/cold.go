@@ -1,0 +1,11 @@
+// Package io is a fixture for hotalloc's policy scoping: it is not a hot
+// kernel package, so per-iteration allocation here is not a finding.
+package io
+
+func Collect(n int) [][]float64 {
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		out = append(out, make([]float64, 8))
+	}
+	return out
+}

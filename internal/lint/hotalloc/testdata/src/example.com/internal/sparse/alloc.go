@@ -1,0 +1,100 @@
+// Package sparse is a fixture for the hotalloc innermost-loop rules.
+package sparse
+
+// Flagged: per-element make in the innermost loop.
+func ScaleRows(rowptr []int, vals, diag []float64) {
+	for i := 0; i < len(rowptr)-1; i++ {
+		for j := rowptr[i]; j < rowptr[i+1]; j++ {
+			t := make([]float64, 1) // want `make in an innermost loop`
+			t[0] = vals[j] * diag[i]
+			vals[j] = t[0]
+		}
+	}
+}
+
+// Allowed: the same scratch hoisted out of the loops.
+func ScaleRowsHoisted(rowptr []int, vals, diag []float64) {
+	t := make([]float64, 1)
+	for i := 0; i < len(rowptr)-1; i++ {
+		for j := rowptr[i]; j < rowptr[i+1]; j++ {
+			t[0] = vals[j] * diag[i]
+			vals[j] = t[0]
+		}
+	}
+}
+
+// Flagged: growing append per iteration.
+func Gather(idx []int, x []float64) []float64 {
+	var out []float64
+	for _, i := range idx {
+		out = append(out, x[i]) // want `growing append in an innermost loop`
+	}
+	return out
+}
+
+// Allowed: the same append under an annotated amortization argument.
+func GatherAmortized(idx []int, x []float64) []float64 {
+	out := make([]float64, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, x[i]) //pglint:hotalloc capacity reserved above; append never grows
+	}
+	return out
+}
+
+// Flagged: boxing a float into an interface per iteration.
+func Emit(vals []float64, sink func(any)) {
+	for _, v := range vals {
+		sink(any(v)) // want `interface boxing in an innermost loop`
+	}
+}
+
+// Flagged: a slice literal allocates like a make.
+func Pairs(src, dst []int, emit func([]int)) {
+	for k := range src {
+		emit([]int{src[k], dst[k]}) // want `composite literal in an innermost loop`
+	}
+}
+
+// Flagged: a capturing closure allocates per iteration.
+func Apply(vals []float64, run func(func())) {
+	for i := range vals {
+		i := i
+		run(func() { vals[i] *= 2 }) // want `capturing closure in an innermost loop`
+	}
+}
+
+// Allowed: the error path builds its diagnostic — an if-block ending in
+// return runs at most once per call, however hot the loop.
+func CheckFinite(vals []float64) error {
+	for _, v := range vals {
+		if v != v {
+			msg := make([]byte, 0, 32)
+			msg = append(msg, "NaN in matrix"...)
+			return errBytes(msg)
+		}
+	}
+	return nil
+}
+
+type errBytes []byte
+
+func (e errBytes) Error() string { return string(e) }
+
+// Flagged: the allocation hides one call deep in a same-package helper.
+func AddEdges(adj [][]int, src, dst []int) {
+	for k := range src {
+		addEdge(adj, src[k], dst[k]) // want `reaches a growing append`
+	}
+}
+
+// Allowed: the same call under an annotated amortization argument.
+func AddEdgesAmortized(adj [][]int, src, dst []int) {
+	for k := range src {
+		//pglint:hotalloc adjacency growth is amortized O(nnz) over the whole pass
+		addEdge(adj, src[k], dst[k])
+	}
+}
+
+func addEdge(adj [][]int, a, b int) {
+	adj[a] = append(adj[a], b)
+}

@@ -30,6 +30,20 @@ var numeric = []string{
 	"internal/sparse",
 }
 
+// hot lists the numeric packages whose inner loops are the measured
+// bottleneck of every solve: the sparse kernels, the factorizations, and
+// the PCG iteration. Inside these packages the hotalloc analyzer treats a
+// heap allocation in an innermost loop (or in a helper such a loop calls)
+// as a defect: the paper's O(|Nk|) clique-sampling complexity and the
+// parallel SpMV/trisolve throughput are both erased by per-iteration heap
+// churn. Subpackages inherit the classification.
+var hot = []string{
+	"internal/chol",
+	"internal/core",
+	"internal/pcg",
+	"internal/sparse",
+}
+
 // randSanctioned lists the packages allowed to import math/rand: only the
 // seeded-generator package itself, which exists precisely so nothing else
 // has to. (It currently implements splitmix64 without stdlib rand; the
@@ -70,3 +84,26 @@ func Numeric(path string) bool { return inSet(path, numeric) }
 // RandSanctioned reports whether the package at path may import
 // math/rand or math/rand/v2.
 func RandSanctioned(path string) bool { return inSet(path, randSanctioned) }
+
+// Hot reports whether the package at path is a hot kernel package, i.e.
+// subject to the hotalloc innermost-loop allocation rules.
+func Hot(path string) bool { return inSet(path, hot) }
+
+// Library reports whether the package at path is library code, i.e. code
+// that must receive its context from the caller rather than minting one
+// with context.Background/TODO. Binaries (cmd/*) and runnable examples
+// are the process entry points where a root context legitimately
+// originates; everything else — the module root API and every internal
+// package — is library.
+func Library(path string) bool {
+	rel := Rel(path)
+	if strings.HasPrefix(rel, "cmd/") {
+		return false
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "examples" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+// Package poolescape flags sync.Pool values that alias out of their
+// owning function before Put — the other half of the pool contract.
+//
+// PR 3's poolleak proves every Get reaches a Put on every path; it says
+// nothing about the value ALSO surviving somewhere else. A pooled buffer
+// stored into a struct field, returned to the caller, or captured by a
+// goroutine keeps being read after Put hands it to the next solve — the
+// exact aliasing bug the concurrency suite exists to catch, except the
+// race detector only sees it when two solves actually collide on the
+// recycled buffer. This analyzer makes the aliasing itself the defect:
+//
+//   - returning a pooled value (or anything derived from it by slicing);
+//   - storing it into a package-level variable, or into a field/element
+//     of a receiver or parameter — state that outlives the call;
+//   - capturing it in a closure that escapes: one spawned by go,
+//     returned, or stored as above.
+//
+// Handing the value to a callee (LowerSolve(f.L, w)) is fine — the
+// callee's frame ends before Put. The deliberate hand-off-with-release
+// pattern is annotated //pglint:poolescape <reason>.
+package poolescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/ssalite"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "poolescape"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolescape",
+	Doc:      "sync.Pool values must not be returned, stored to escaping state, or captured by escaping closures before Put",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+
+	for _, fn := range prog.Funcs {
+		if fn.Parent != nil {
+			continue // literals are scanned as part of their root function
+		}
+		if strings.HasSuffix(pass.Fset.Position(fn.Body.Pos()).Filename, "_test.go") {
+			continue
+		}
+		check(pass, dirs, prog, fn)
+	}
+	return nil, nil
+}
+
+// check finds every pooled binding in fn (nested literals included) and
+// scans the whole declaration for escapes of that binding.
+func check(pass *analysis.Pass, dirs *directive.Index, prog *ssalite.Program, fn *ssalite.Function) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isPoolGet(pass, rhs) || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil {
+				continue
+			}
+			scanEscapes(pass, dirs, prog, fn, obj)
+		}
+		return true
+	})
+}
+
+// isPoolGet matches pool.Get() optionally wrapped in a type assertion or
+// conversion: `w := p.Get().([]float64)`.
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return isPoolGet(pass, x.X)
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return isPoolGet(pass, x.Args[0]) // conversion wrapper
+		}
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Get" {
+			return false
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return false
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		return recv != nil && strings.Contains(recv.Type().String(), "sync.Pool")
+	}
+	return false
+}
+
+// scanEscapes walks the root function for ways obj leaves the frame.
+func scanEscapes(pass *analysis.Pass, dirs *directive.Index, prog *ssalite.Program, root *ssalite.Function, obj types.Object) {
+	report := func(n ast.Node, how string) {
+		if _, ok := dirs.Allow(n.Pos(), DirectiveName); ok {
+			return
+		}
+		pass.Reportf(n.Pos(), "pooled %s %s before Put: the next Get hands the same buffer to another solve while this alias still reads it; copy the data out, or annotate //pglint:%s <reason>", obj.Name(), how, DirectiveName)
+	}
+
+	ast.Inspect(root.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			// Returning from the function that owns the binding (or from a
+			// closure, which hands the alias to the closure's caller).
+			for _, res := range x.Results {
+				if usesObj(pass, res, obj) {
+					report(x, "is returned")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !usesObj(pass, rhs, obj) {
+					continue
+				}
+				if isPoolGet(pass, rhs) {
+					continue // the binding itself
+				}
+				if i < len(x.Lhs) && escapingLHS(pass, root, x.Lhs[i]) {
+					report(x, "is stored to state that outlives the call")
+				}
+			}
+		case *ast.FuncLit:
+			sub := prog.FuncOf(x.Body)
+			if sub == nil || !capturesObj(sub, obj) {
+				return true
+			}
+			if how, esc := litEscapes(pass, prog, root, x); esc {
+				report(x, "is captured by a closure that "+how)
+			}
+		}
+		return true
+	})
+}
+
+// usesObj reports whether expr mentions obj (directly, sliced, indexed,
+// or inside a composite literal).
+func usesObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objOf(pass, id) == obj {
+			found = true
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // capture is judged separately, by litEscapes
+		}
+		return true
+	})
+	return found
+}
+
+// escapingLHS reports whether assigning to lhs publishes the value past
+// the function: a package-level variable, or a field/element of a
+// receiver, parameter, or package-level variable.
+func escapingLHS(pass *analysis.Pass, root *ssalite.Function, lhs ast.Expr) bool {
+	base := baseIdent(lhs)
+	if base == nil {
+		return false
+	}
+	obj := objOf(pass, base)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		return true // package-level variable (or any selector/index on it)
+	}
+	switch lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		// Writing through a receiver/parameter stores into caller-owned
+		// memory.
+		return isParamOrRecv(root, v)
+	}
+	return false
+}
+
+func isParamOrRecv(root *ssalite.Function, v *types.Var) bool {
+	if root.Decl != nil && root.Decl.Recv != nil {
+		for _, f := range root.Decl.Recv.List {
+			for _, name := range f.Names {
+				if name.Name == v.Name() && name.Pos() == v.Pos() {
+					return true
+				}
+			}
+		}
+	}
+	if root.Sig != nil {
+		params := root.Sig.Params()
+		for i := 0; i < params.Len(); i++ {
+			if params.At(i) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func capturesObj(f *ssalite.Function, obj types.Object) bool {
+	for _, v := range f.FreeVars {
+		if v == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// litEscapes reports whether the closure value itself leaves the frame:
+// spawned by go, returned, or stored to escaping state. Deferred and
+// plain calls keep it inside.
+func litEscapes(pass *analysis.Pass, prog *ssalite.Program, root *ssalite.Function, lit *ast.FuncLit) (string, bool) {
+	var how string
+	ast.Inspect(root.Body, func(n ast.Node) bool {
+		if how != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if ast.Unparen(x.Call.Fun) == lit {
+				how = "outlives the call as a goroutine"
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if containsNode(res, lit) {
+					how = "is returned"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if containsNode(rhs, lit) && i < len(x.Lhs) && escapingLHS(pass, root, x.Lhs[i]) {
+					how = "is stored to state that outlives the call"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return how, how != ""
+}
+
+func containsNode(root ast.Expr, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

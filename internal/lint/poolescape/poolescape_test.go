@@ -1,0 +1,14 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/linttest"
+	"powerrchol/internal/lint/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), poolescape.Analyzer,
+		"example.com/internal/core",
+	)
+}

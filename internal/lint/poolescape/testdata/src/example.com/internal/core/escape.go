@@ -1,0 +1,102 @@
+// Package core is a fixture for the sync.Pool escape rules.
+package core
+
+import "sync"
+
+var scratch sync.Pool
+
+var global []float64
+
+type solver struct {
+	pool sync.Pool
+	buf  []float64
+}
+
+// Allowed: get, use locally, put.
+func (s *solver) Solve(b []float64) {
+	w := s.pool.Get().([]float64)
+	defer s.pool.Put(w)
+	for i := range b {
+		w[i] = b[i]
+	}
+}
+
+// Flagged: the returned alias outlives Put — the next Get hands the same
+// backing array to another solve.
+func (s *solver) Leak() []float64 {
+	w := s.pool.Get().([]float64)
+	s.pool.Put(w)
+	return w // want `pooled w is returned`
+}
+
+// Flagged: a derived slice is the same backing array.
+func (s *solver) LeakSlice(n int) []float64 {
+	w := s.pool.Get().([]float64)
+	s.pool.Put(w)
+	return w[:n] // want `pooled w is returned`
+}
+
+// Flagged: comma-ok assertion binds the same pooled value.
+func LeakCommaOK() []float64 {
+	w, ok := scratch.Get().([]float64)
+	if !ok {
+		return nil
+	}
+	return w // want `pooled w is returned`
+}
+
+// Flagged: storing the pooled buffer into receiver state.
+func (s *solver) Cache() {
+	w := s.pool.Get().([]float64)
+	s.buf = w // want `stored to state that outlives the call`
+	s.pool.Put(w)
+}
+
+// Flagged: publishing to a package-level variable.
+func Publish() {
+	w := scratch.Get().([]float64)
+	global = w // want `stored to state that outlives the call`
+	scratch.Put(w)
+}
+
+// Flagged: a goroutine keeps reading the buffer after Put recycles it.
+func Race(b []float64) {
+	w := scratch.Get().([]float64)
+	go func() { // want `captured by a closure that outlives the call as a goroutine`
+		for i := range w {
+			w[i] = b[i]
+		}
+	}()
+	scratch.Put(w)
+}
+
+// Allowed: a deferred closure stays inside the frame.
+func Deferred(b []float64) {
+	w := scratch.Get().([]float64)
+	defer func() {
+		scratch.Put(w)
+	}()
+	for i := range b {
+		w[i] = b[i]
+	}
+}
+
+// Allowed: handing the buffer to a callee — its frame ends before Put.
+func Delegate(b []float64) {
+	w := scratch.Get().([]float64)
+	lowerSolve(w, b)
+	scratch.Put(w)
+}
+
+func lowerSolve(w, b []float64) {
+	for i := range b {
+		w[i] = b[i]
+	}
+}
+
+// Allowed: annotated ownership transfer.
+func Handoff() []float64 {
+	w := scratch.Get().([]float64)
+	//pglint:poolescape ownership transfers to the caller, which must Release
+	return w
+}

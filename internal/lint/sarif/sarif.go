@@ -1,0 +1,342 @@
+// Package sarif turns `go vet -json` output from the pglint vettool into
+// a SARIF 2.1.0 log, and diffs findings against a checked-in baseline.
+//
+// The pipeline is: `pglint -sarif` re-invokes `go vet -vettool=<self>
+// -json ./...`, feeds the stream to ParseVetJSON, partitions the findings
+// with Baseline.Split, and writes NewLog's output where CI can upload it
+// to GitHub code scanning. Findings present in the baseline are reported
+// with baselineState "unchanged" and do not fail the run; anything new
+// fails it. Baseline keys are (rule, repo-relative file, message) — line
+// numbers are deliberately excluded so unrelated edits above a baselined
+// finding do not churn the file.
+package sarif
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one pglint diagnostic, file path repo-relative and
+// slash-separated.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// ParseVetJSON reads the combined output of `go vet -json`, which is a
+// stream of `# pkg` comment lines interleaved with pretty-printed JSON
+// objects of the shape {pkgID: {analyzer: [{posn, message}]}}. File
+// positions are relativized against root.
+func ParseVetJSON(r io.Reader, root string) ([]Finding, error) {
+	// Drop the `# pkg` comment lines; what remains is a concatenation of
+	// JSON objects a Decoder can walk.
+	var clean bytes.Buffer
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "#") {
+			continue
+		}
+		clean.Write(sc.Bytes())
+		clean.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var findings []Finding
+	dec := json.NewDecoder(&clean)
+	for {
+		var unit map[string]map[string][]diag
+		if err := dec.Decode(&unit); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go vet -json stream: %w", err)
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					file, line, col := splitPosn(d.Posn)
+					findings = append(findings, Finding{
+						Rule:    analyzer,
+						File:    relPath(root, file),
+						Line:    line,
+						Column:  col,
+						Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	Sort(findings)
+	return findings, nil
+}
+
+// Sort orders findings deterministically: by file, line, column, rule,
+// message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// splitPosn parses "path/file.go:12:3" (column optional).
+func splitPosn(posn string) (file string, line, col int) {
+	file = posn
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+		}
+	}
+	if line == 0 && col != 0 {
+		// Only one numeric suffix was present: it was the line.
+		line, col = col, 0
+	}
+	return file, line, col
+}
+
+func relPath(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Rule describes one analyzer for the SARIF tool.driver.rules table.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// SARIF 2.1.0 — the minimal subset GitHub code scanning consumes.
+
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+type Driver struct {
+	Name           string       `json:"name"`
+	InformationURI string       `json:"informationUri,omitempty"`
+	Rules          []DriverRule `json:"rules"`
+}
+
+type DriverRule struct {
+	ID               string `json:"id"`
+	ShortDescription Text   `json:"shortDescription"`
+}
+
+type Text struct {
+	Text string `json:"text"`
+}
+
+type Result struct {
+	RuleID        string     `json:"ruleId"`
+	Level         string     `json:"level"`
+	Message       Text       `json:"message"`
+	Locations     []Location `json:"locations"`
+	BaselineState string     `json:"baselineState,omitempty"`
+}
+
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           Region           `json:"region"`
+}
+
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type Region struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// NewLog builds a SARIF 2.1.0 log for the pglint run. baselined marks
+// which findings (by index) were already in the baseline.
+func NewLog(rules []Rule, findings []Finding, baselined []bool) *Log {
+	drv := Driver{
+		Name:           "pglint",
+		InformationURI: "https://github.com/powerrchol/powerrchol",
+	}
+	for _, r := range rules {
+		drv.Rules = append(drv.Rules, DriverRule{ID: r.ID, ShortDescription: Text{Text: r.Doc}})
+	}
+	results := make([]Result, 0, len(findings))
+	for i, f := range findings {
+		state := "new"
+		if i < len(baselined) && baselined[i] {
+			state = "unchanged"
+		}
+		line := f.Line
+		if line <= 0 {
+			line = 1 // SARIF regions are 1-based; vet can emit pos-less diagnostics
+		}
+		results = append(results, Result{
+			RuleID:        f.Rule,
+			Level:         "error",
+			Message:       Text{Text: f.Message},
+			BaselineState: state,
+			Locations: []Location{{
+				PhysicalLocation: PhysicalLocation{
+					ArtifactLocation: ArtifactLocation{URI: f.File},
+					Region:           Region{StartLine: line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+	return &Log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []Run{{Tool: Tool{Driver: drv}, Results: results}},
+	}
+}
+
+// Write emits the log as indented JSON with a trailing newline.
+func (l *Log) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(l)
+}
+
+// Baseline is the checked-in set of accepted findings
+// (.pglint-baseline.json). Keys ignore line numbers so edits elsewhere in
+// a file do not invalidate entries.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads path; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func key(rule, file, message string) string {
+	return rule + "\x00" + file + "\x00" + message
+}
+
+// Split partitions findings: baselined[i] reports whether findings[i] is
+// covered by the baseline; fresh collects the ones that are not.
+func (b *Baseline) Split(findings []Finding) (baselined []bool, fresh []Finding) {
+	known := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[key(e.Rule, e.File, e.Message)] = true
+	}
+	baselined = make([]bool, len(findings))
+	for i, f := range findings {
+		if known[key(f.Rule, f.File, f.Message)] {
+			baselined[i] = true
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return baselined, fresh
+}
+
+// FromFindings builds a baseline accepting exactly the given findings
+// (deduplicated, sorted) — the -update-baseline path.
+func FromFindings(findings []Finding) *Baseline {
+	seen := make(map[string]bool)
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		k := key(f.Rule, f.File, f.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Findings = append(b.Findings, BaselineEntry{Rule: f.Rule, File: f.File, Message: f.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

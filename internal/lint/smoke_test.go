@@ -41,7 +41,7 @@ func buildPglint(t *testing.T, root string) string {
 }
 
 // TestPglintRepoClean is the tier-1 version of `make lint`: the whole
-// repository must pass the five pglint analyzers, so a new violation
+// repository must pass the nine pglint analyzers, so a new violation
 // fails `go test ./...` even on machines that never run the Makefile.
 func TestPglintRepoClean(t *testing.T) {
 	if testing.Short() {
@@ -57,8 +57,10 @@ func TestPglintRepoClean(t *testing.T) {
 }
 
 // TestPglintCatchesViolation proves the vettool actually bites: a scratch
-// module with a banned import and an order-dependent map range must fail
-// `go vet -vettool` with both findings.
+// module planted with one deliberate violation per analyzer — all nine —
+// must fail `go vet -vettool` with every finding present. The scratch
+// package sits at internal/core so the policy tables classify it as
+// numeric, hot, and library code, arming every rule at once.
 func TestPglintCatchesViolation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short runs")
@@ -78,6 +80,7 @@ func TestPglintCatchesViolation(t *testing.T) {
 		}
 	}
 	write("go.mod", "module example.com/scratch\n\ngo 1.22\n")
+	// bannedimport + maprange
 	write("internal/core/bad.go", `package core
 
 import "math/rand"
@@ -90,13 +93,102 @@ func Sum(m map[int]float64) float64 {
 	return s * rand.Float64()
 }
 `)
+	// floateq + errwrapcheck
+	write("internal/core/float.go", `package core
+
+import "fmt"
+
+func Converged(a, b float64) bool {
+	return a*0.5 == b*0.25
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("solve failed: %v", err)
+}
+`)
+	// poolleak (exit without Put) + poolescape (pooled value returned)
+	write("internal/core/pool.go", `package core
+
+import "sync"
+
+var scratch = sync.Pool{New: func() interface{} { b := make([]float64, 0, 64); return &b }}
+
+func Leaky(n int) int {
+	buf := scratch.Get().(*[]float64)
+	if n > 0 {
+		return n
+	}
+	scratch.Put(buf)
+	return cap(*buf)
+}
+
+func Escape() *[]float64 {
+	buf := scratch.Get().(*[]float64)
+	defer scratch.Put(buf)
+	return buf
+}
+`)
+	// ctxflow: ambient Background in library code, not the wrapper shape
+	write("internal/core/ctx.go", `package core
+
+import "context"
+
+func Mint(xs []float64) float64 {
+	ctx := context.Background()
+	if ctx.Err() != nil {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`)
+	// hotalloc: make in the innermost loop of a hot kernel package
+	write("internal/core/hot.go", `package core
+
+func Widen(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, len(x))
+		copy(row, x)
+		out[i] = row
+	}
+	return out
+}
+`)
+	// goroleak: looping goroutine with no termination evidence
+	write("internal/core/spawn.go", `package core
+
+func Spin(n int) {
+	go func() {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		_ = total
+	}()
+}
+`)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	cmd.Dir = mod
 	out, err := cmd.CombinedOutput()
 	if err == nil {
 		t.Fatalf("pglint passed a module with deliberate violations:\n%s", out)
 	}
-	for _, want := range []string{"import of math/rand is banned", "range over map is order-dependent"} {
+	wants := []string{
+		"import of math/rand is banned",             // bannedimport
+		"range over map is order-dependent",         // maprange
+		"between computed floats",                   // floateq
+		"without a Put",                             // poolleak
+		"severing the errors.Is/As chain",           // errwrapcheck
+		"context.Background in library code",        // ctxflow
+		"make in an innermost loop of a hot kernel", // hotalloc
+		"tie the goroutine to a WaitGroup",          // goroleak
+		"is returned before Put",                    // poolescape
+	}
+	for _, want := range wants {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("vet output missing %q:\n%s", want, out)
 		}

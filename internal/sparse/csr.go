@@ -66,7 +66,9 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 		a.MulVec(y, x)
 		return
 	}
-	bounds := a.partition(workers)
+	bp := getBounds(workers + 1)
+	bounds := *bp
+	nnzPartitionInto(bounds, a.RowPtr, a.Rows, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -74,6 +76,7 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 			continue
 		}
 		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
@@ -86,10 +89,14 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	putBounds(bp)
 }
 
 // partition returns workers+1 row boundaries with roughly equal nonzeros
-// per slice.
+// per slice. Allocating convenience form of nnzPartitionInto (tests and
+// diagnostics; the solve path uses the pooled in-place variant).
 func (a *CSR) partition(workers int) []int {
-	return nnzPartition(a.RowPtr, a.Rows, workers)
+	bounds := make([]int, workers+1)
+	nnzPartitionInto(bounds, a.RowPtr, a.Rows, workers)
+	return bounds
 }

@@ -92,8 +92,10 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 			if i < 1 || i > rows || j < 1 || j > cols {
 				return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of range", i, j)
 			}
+			//pglint:hotalloc matrix ingest, runs once per file; COO capacity is reserved from the header nnz
 			coo.Add(i-1, j-1, v)
 			if symmetric && i != j {
+				//pglint:hotalloc mirrored entry of the symmetric ingest above
 				coo.Add(j-1, i-1, v)
 			}
 			k++

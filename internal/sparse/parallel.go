@@ -27,6 +27,31 @@ const ParThreshold = 8192
 // across machines and worker settings.
 const parBlock = 4096
 
+// Pooled scratch for the parallel kernels. The partition bounds and the
+// reduction partial sums are tiny, but DotPar/Norm2Par and the parallel
+// SpMVs sit on the per-iteration PCG path: a make per call is an
+// allocation per iteration per kernel, which is exactly the churn the
+// hotalloc contract bans from these packages. Pools store pointers to
+// slice headers so checking in and out does not itself allocate.
+var (
+	boundsPool  = sync.Pool{New: func() interface{} { b := make([]int, 0, 64); return &b }}
+	partialPool = sync.Pool{New: func() interface{} { p := make([]float64, 0, 256); return &p }}
+)
+
+// getBounds checks a []int of length n out of boundsPool.
+func getBounds(n int) *[]int {
+	//pglint:pool-escapes checkout helper: the caller owns the slice and recycles it via putBounds after wg.Wait
+	bp := boundsPool.Get().(*[]int)
+	if cap(*bp) < n {
+		*bp = make([]int, n)
+	}
+	*bp = (*bp)[:n]
+	//pglint:poolescape checkout helper: ownership transfers to the caller, which calls putBounds after its goroutines are fenced
+	return bp
+}
+
+func putBounds(bp *[]int) { boundsPool.Put(bp) }
+
 // parRange runs fn over [0,n) split into `workers` contiguous chunks and
 // waits for completion. fn must not have cross-chunk dependencies.
 func parRange(n, workers int, fn func(lo, hi int)) {
@@ -41,6 +66,7 @@ func parRange(n, workers int, fn func(lo, hi int)) {
 			continue
 		}
 		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
@@ -54,7 +80,13 @@ func parRange(n, workers int, fn func(lo, hi int)) {
 // returns the partial sums folded in ascending block order.
 func parBlocks(n, workers int, blockSum func(lo, hi int) float64) float64 {
 	nb := (n + parBlock - 1) / parBlock
-	partial := make([]float64, nb)
+	pp := partialPool.Get().(*[]float64)
+	if cap(*pp) < nb {
+		*pp = make([]float64, nb)
+	}
+	// Every block index < nb is claimed and written exactly once below, so
+	// the recycled slice needs no zeroing.
+	partial := (*pp)[:nb]
 	var next int64
 	var wg sync.WaitGroup
 	if workers > nb {
@@ -62,6 +94,7 @@ func parBlocks(n, workers int, blockSum func(lo, hi int) float64) float64 {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait //pglint:poolescape workers write partial and are fenced by wg.Wait before the slice is folded and recycled
 		go func() {
 			defer wg.Done()
 			for {
@@ -83,6 +116,7 @@ func parBlocks(n, workers int, blockSum func(lo, hi int) float64) float64 {
 	for _, v := range partial {
 		s += v
 	}
+	partialPool.Put(pp)
 	return s
 }
 
@@ -156,7 +190,9 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 		a.MulVecTrans(y, x)
 		return
 	}
-	bounds := nnzPartition(a.ColPtr, a.Cols, workers)
+	bp := getBounds(workers + 1)
+	bounds := *bp
+	nnzPartitionInto(bounds, a.ColPtr, a.Cols, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -164,6 +200,7 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 			continue
 		}
 		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
 		go func(lo, hi int) {
 			defer wg.Done()
 			for j := lo; j < hi; j++ {
@@ -176,12 +213,16 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	putBounds(bp)
 }
 
-// nnzPartition returns workers+1 boundaries over [0,n) with roughly equal
-// stored entries per slice, given the cumulative-entry pointer ptr.
-func nnzPartition(ptr []int, n, workers int) []int {
-	bounds := make([]int, workers+1)
+// nnzPartitionInto fills bounds (length workers+1) with boundaries over
+// [0,n) carrying roughly equal stored entries per slice, given the
+// cumulative-entry pointer ptr. It fills in place rather than returning a
+// fresh slice so callers on the per-iteration PCG path can reuse pooled
+// scratch.
+func nnzPartitionInto(bounds, ptr []int, n, workers int) {
+	bounds[0] = 0
 	nnz := ptr[n]
 	at := 0
 	for w := 1; w < workers; w++ {
@@ -192,5 +233,4 @@ func nnzPartition(ptr []int, n, workers int) []int {
 		bounds[w] = at
 	}
 	bounds[workers] = n
-	return bounds
 }

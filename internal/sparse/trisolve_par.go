@@ -147,7 +147,26 @@ func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
 
 // run executes solve(j) for every j in order, one level at a time; rows
 // within a level are independent and split across workers.
+//
+// Workers are spawned once per call — on the first level wide enough to
+// parallelize — and retired by closing the job channel after the last
+// level, instead of spawning fresh goroutines (and their closures) for
+// every level. A factor's schedule commonly has hundreds of levels, so
+// this turns O(levels × workers) goroutine launches per solve into
+// O(workers). Which worker executes which part is scheduling-dependent,
+// but parts never split a row and each row is accumulated serially in a
+// fixed order, so the result stays bitwise identical to the serial solve.
 func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
+	var jobs chan []int
+	var wg sync.WaitGroup
+	worker := func(jobs <-chan []int) {
+		for part := range jobs {
+			for _, j := range part {
+				solve(j)
+			}
+			wg.Done()
+		}
+	}
 	for k := 0; k+1 < len(ptr); k++ {
 		rows := order[ptr[k]:ptr[k+1]]
 		if len(rows) < t.minParallel {
@@ -156,7 +175,12 @@ func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
 			}
 			continue
 		}
-		var wg sync.WaitGroup
+		if jobs == nil {
+			jobs = make(chan []int, workers)
+			for w := 0; w < workers; w++ {
+				go worker(jobs)
+			}
+		}
 		nw := workers
 		if nw > len(rows) {
 			nw = len(rows)
@@ -168,13 +192,13 @@ func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
 				continue
 			}
 			wg.Add(1)
-			go func(part []int) {
-				defer wg.Done()
-				for _, j := range part {
-					solve(j)
-				}
-			}(rows[lo:hi])
+			jobs <- rows[lo:hi]
 		}
+		// The per-level barrier: every part of level k finishes before any
+		// row of level k+1 starts — that is the level schedule's contract.
 		wg.Wait()
+	}
+	if jobs != nil {
+		close(jobs)
 	}
 }

@@ -330,7 +330,7 @@ func SolveContext(ctx context.Context, sys *graph.SDDM, b []float64, opt Options
 		c := merge.Contract(sys, opt.MergeFactor)
 		return solveAMG(ctx, c.System, c.FoldRHS(b), opt, c)
 	case MethodDirect:
-		return solveDirect(sys, b, opt)
+		return solveDirect(ctx, sys, b, opt)
 	case MethodJacobi, MethodSSOR:
 		return solveStationary(ctx, sys, b, opt)
 	}
@@ -508,7 +508,7 @@ func solveRandomized(ctx context.Context, sys *graph.SDDM, b []float64, opt Opti
 		var f *core.Factor
 		var err error
 		if rg.direct {
-			f, err = chol.Factorize(sys.ToCSC(), perm)
+			f, err = chol.FactorizeContext(ctx, sys.ToCSC(), perm)
 		} else {
 			copt := core.Options{
 				Variant: rg.variant,
@@ -598,7 +598,7 @@ func solveFeGRASS(ctx context.Context, sys *graph.SDDM, b []float64, opt Options
 	if opt.Method == MethodFeGRASSIChol {
 		f, err = ichol.Factorize(sp.ToCSC(), perm, ichol.Options{DropTol: opt.DropTol})
 	} else {
-		f, err = chol.Factorize(sp.ToCSC(), perm)
+		f, err = chol.FactorizeContext(ctx, sp.ToCSC(), perm)
 	}
 	if err != nil {
 		return nil, err
@@ -640,14 +640,14 @@ func solveAMG(ctx context.Context, sys *graph.SDDM, b []float64, opt Options, c 
 	return res, nil
 }
 
-func solveDirect(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+func solveDirect(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	res := &Result{}
 	t0 := time.Now()
 	perm := buildOrdering(sys, orderOrAMD(opt.Ordering), opt.HeavyFactor, nil)
 	res.Timings.Reorder = time.Since(t0)
 
 	t0 = time.Now()
-	f, err := chol.Factorize(sys.ToCSC(), perm)
+	f, err := chol.FactorizeContext(ctx, sys.ToCSC(), perm)
 	if err != nil {
 		return nil, err
 	}

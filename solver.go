@@ -73,14 +73,14 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 	case MethodPowerRChol, MethodLTRChol, MethodRChol:
 		err = s.setupRandomized(ctx)
 	case MethodFeGRASS, MethodFeGRASSIChol:
-		err = s.setupFeGRASS()
+		err = s.setupFeGRASS(ctx)
 	case MethodDirect:
 		t0 := time.Now()
 		perm := buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor, nil)
 		s.setupReorder = time.Since(t0)
 		t0 = time.Now()
 		var f *core.Factor
-		f, err = chol.Factorize(sys.ToCSC(), perm)
+		f, err = chol.FactorizeContext(ctx, sys.ToCSC(), perm)
 		if err == nil {
 			s.m = f
 			s.factorNNZ = f.NNZ()
@@ -140,7 +140,7 @@ func (s *Solver) setupRandomized(ctx context.Context) error {
 		var f *core.Factor
 		var err error
 		if rg.direct {
-			f, err = chol.Factorize(s.sys.ToCSC(), perm)
+			f, err = chol.FactorizeContext(ctx, s.sys.ToCSC(), perm)
 		} else {
 			copt := core.Options{
 				Variant: rg.variant,
@@ -177,7 +177,7 @@ func (s *Solver) setupRandomized(ctx context.Context) error {
 	panic("powerrchol: empty attempt plan") // unreachable: plan always has ≥ 1 rung
 }
 
-func (s *Solver) setupFeGRASS() error {
+func (s *Solver) setupFeGRASS(ctx context.Context) error {
 	opt := s.opt
 	frac := opt.RecoverFrac
 	if frac == 0 {
@@ -199,7 +199,7 @@ func (s *Solver) setupFeGRASS() error {
 	if opt.Method == MethodFeGRASSIChol {
 		f, err = ichol.Factorize(sp.ToCSC(), sperm, ichol.Options{DropTol: opt.DropTol})
 	} else {
-		f, err = chol.Factorize(sp.ToCSC(), sperm)
+		f, err = chol.FactorizeContext(ctx, sp.ToCSC(), sperm)
 	}
 	if err != nil {
 		return err
