@@ -8,8 +8,10 @@
 //	pgsolve -matrix A.mtx [-rhs b.mtx]      Matrix Market SDDM (+ optional rhs)
 //	pgsolve -case thupg1 [-scale f]         built-in benchmark case
 //
-// Flags select the method (-method powerrchol|rchol|lt-rchol|fegrass|
-// fegrass-ichol|amg|powerrush|direct|jacobi), tolerance and seed.
+// Flags select the method (-method list prints the full registry table),
+// an optional transform-stage override (-transform none|fegrass|merge,
+// composing e.g. PowerRush's contraction with a randomized
+// preconditioner), tolerance and seed.
 //
 // Batch mode (-batch N) factorizes once and solves N deterministic load
 // patterns derived from the base right-hand side, fanned across a worker
@@ -23,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -62,7 +65,8 @@ func run() error {
 	rhsPath := flag.String("rhs", "", "Matrix Market dense/coordinate Nx1 right-hand side (with -matrix)")
 	caseName := flag.String("case", "", "built-in benchmark case name (e.g. thupg1)")
 	scale := flag.Float64("scale", 1.0, "scale factor for -case")
-	methodName := flag.String("method", "powerrchol", "solver method")
+	methodName := flag.String("method", "powerrchol", "solver method, or 'list' to print the registry table")
+	transformName := flag.String("transform", "default", "transform-stage override: default|none|fegrass|merge")
 	tol := flag.Float64("tol", 1e-6, "relative residual tolerance")
 	maxIter := flag.Int("maxiter", 500, "PCG iteration cap")
 	seed := flag.Uint64("seed", 2024, "randomized factorization seed")
@@ -75,12 +79,21 @@ func run() error {
 	refPath := flag.String("ref", "", "compare against a golden .solution file (netlist input only)")
 	flag.Parse()
 
+	if *methodName == "list" {
+		printMethodTable(os.Stdout)
+		return nil
+	}
 	method, err := powerrchol.MethodByName(*methodName)
 	if err != nil {
 		return err
 	}
+	transform, err := powerrchol.TransformByName(*transformName)
+	if err != nil {
+		return err
+	}
 	opt := powerrchol.Options{
-		Method: method, Tol: *tol, MaxIter: *maxIter, Seed: *seed, Workers: *workers,
+		Method: method, Transform: transform,
+		Tol: *tol, MaxIter: *maxIter, Seed: *seed, Workers: *workers,
 		Retry: powerrchol.RetryPolicy{MaxAttempts: *retries, Escalate: *escalate},
 	}
 
@@ -253,6 +266,22 @@ func run() error {
 		return fmt.Errorf("-out/-ref require -netlist input (named nodes)")
 	}
 	return nil
+}
+
+// printMethodTable renders the pipeline registry — every method with its
+// default stage composition — so the CLI's method list can never drift
+// from what the library actually runs.
+func printMethodTable(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-10s %-9s %-9s %-7s %-9s %s\n",
+		"METHOD", "TRANSFORM", "ORDERING", "FACTOR", "LADDER", "PREPARED", "SUMMARY")
+	for _, mi := range powerrchol.Methods() {
+		ordering := "-"
+		if mi.Ordered {
+			ordering = mi.Ordering.String()
+		}
+		fmt.Fprintf(w, "%-14s %-10s %-9s %-9s %-7v %-9v %s\n",
+			mi.Name, mi.Transform, ordering, mi.Factor, mi.Ladder, mi.Prepared, mi.Summary)
+	}
 }
 
 // runBatch factorizes once and solves `count` load patterns — the base

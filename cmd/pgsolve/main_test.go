@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"powerrchol"
+)
+
+// TestMethodTableCoversRegistry pins `pgsolve -method list` to the
+// pipeline registry: every registered method appears as a row, every row
+// name resolves back through MethodByName, and the header survives.
+func TestMethodTableCoversRegistry(t *testing.T) {
+	var sb strings.Builder
+	printMethodTable(&sb)
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "METHOD") {
+		t.Fatalf("table has no header:\n%s", out)
+	}
+	methods := powerrchol.Methods()
+	if got, want := len(lines)-1, len(methods); got != want {
+		t.Fatalf("table has %d rows, registry has %d methods:\n%s", got, want, out)
+	}
+	for i, mi := range methods {
+		row := lines[i+1]
+		if !strings.HasPrefix(row, mi.Name) {
+			t.Errorf("row %d = %q, want method %q (registry order)", i, row, mi.Name)
+		}
+		m, err := powerrchol.MethodByName(mi.Name)
+		if err != nil {
+			t.Errorf("row name %q does not resolve: %v", mi.Name, err)
+		} else if m != mi.Method {
+			t.Errorf("MethodByName(%q) = %v, want %v", mi.Name, m, mi.Method)
+		}
+		if mi.Summary == "" {
+			t.Errorf("method %q has no summary", mi.Name)
+		}
+	}
+	// The compositions the CLI documents must stay visible in the table.
+	for _, want := range []string{"powerrchol", "fegrass-ichol", "powerrush", "merge", "alg4", "lt-rchol"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table does not mention %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTransformFlagSpellings pins the -transform flag's vocabulary to
+// the pipeline's TransformByName.
+func TestTransformFlagSpellings(t *testing.T) {
+	for _, name := range []string{"default", "none", "fegrass", "merge"} {
+		if _, err := powerrchol.TransformByName(name); err != nil {
+			t.Errorf("TransformByName(%q): %v", name, err)
+		}
+	}
+	if _, err := powerrchol.TransformByName("bogus"); err == nil {
+		t.Errorf("TransformByName(bogus) unexpectedly succeeded")
+	}
+}

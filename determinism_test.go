@@ -1,9 +1,17 @@
 package powerrchol
 
 import (
+	"flag"
+	"fmt"
+	"hash/fnv"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // Determinism regression suite. The contract: all randomness is spent at
 // factorization time (NewSolver), seeded by Options.Seed; the solve
@@ -44,6 +52,66 @@ func TestSolveBatchDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSeedStateGolden pins the exact seed → result mapping of every
+// seed-consuming composition to a golden file: the pipeline refactor
+// contract is that moving setup between front-ends never changes what a
+// seed produces. Fingerprints are bit-exact and generated on the CI
+// architecture; regenerate with `go test -run TestSeedStateGolden
+// -update .` after an intentional change to the sampling or ordering
+// streams (and say so in the commit).
+func TestSeedStateGolden(t *testing.T) {
+	s, b, _ := testProblem(t)
+	configs := []struct {
+		label string
+		opt   Options
+	}{
+		{"powerrchol/seed=42", Options{Method: MethodPowerRChol, Tol: 1e-8, Seed: 42}},
+		{"powerrchol/seed=43", Options{Method: MethodPowerRChol, Tol: 1e-8, Seed: 43}},
+		{"rchol/seed=42", Options{Method: MethodRChol, Tol: 1e-8, Seed: 42}},
+		{"lt-rchol/seed=42", Options{Method: MethodLTRChol, Tol: 1e-8, Seed: 42}},
+		{"lt-rchol+fegrass/seed=42", Options{Method: MethodLTRChol, Transform: TransformFeGRASS, Tol: 1e-8, Seed: 42}},
+		{"powerrchol+merge/seed=42", Options{Method: MethodPowerRChol, Transform: TransformMerge, Tol: 1e-8, Seed: 42}},
+		{"powerrchol+retry/seed=42", Options{Method: MethodPowerRChol, Tol: 1e-8, Seed: 42,
+			Retry: RetryPolicy{MaxAttempts: 4, Escalate: true}}},
+	}
+	var lines []string
+	for _, c := range configs {
+		res, err := Solve(s, b, c.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, x := range res.X {
+			bits := math.Float64bits(x)
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(bits >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		lines = append(lines, fmt.Sprintf("%s nnz=%d iters=%d xbits=%016x",
+			c.label, res.FactorNNZ, res.Iterations, h.Sum64()))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	golden := filepath.Join("testdata", "seedstate.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("seed-state fingerprints changed — the refactor altered what a seed produces.\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -1,0 +1,268 @@
+package powerrchol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
+	"powerrchol/internal/testmat"
+)
+
+// Cross-front-end equivalence suite. Both public entry points —
+// the one-shot Solve and the prepared NewSolver+Solve — are thin
+// drivers over internal/pipeline, so for every method × ordering the
+// two must produce bit-identical solutions from the same Options. Any
+// divergence means the refactored front-ends smuggled in their own
+// setup logic again; this suite is the tripwire.
+
+// equivalenceOpt pins the configuration both front-ends run under.
+// Workers is left 0 (serial): parallel blocked reductions are only
+// reproducible for a fixed Workers value, and the contract under test
+// is front-end identity, not worker-count identity.
+func equivalenceOpt(m Method, o Ordering) Options {
+	return Options{Method: m, Ordering: o, Tol: 1e-8, MaxIter: 5000, Seed: 17}
+}
+
+func orderingsFor(mi MethodInfo) []Ordering {
+	if !mi.Ordered {
+		return []Ordering{OrderDefault}
+	}
+	return []Ordering{OrderDefault, OrderAlg4, OrderAMD, OrderNatural, OrderRCM}
+}
+
+// TestFrontEndEquivalence drives the full method table (from the
+// pipeline registry, so a newly registered method is covered
+// automatically) against every ordering and asserts bitwise identity
+// between the two front-ends. Contraction-bearing plans have no
+// prepared form; for those the test pins the rejection instead.
+func TestFrontEndEquivalence(t *testing.T) {
+	s, b, _ := testProblem(t)
+	for _, mi := range Methods() {
+		for _, o := range orderingsFor(mi) {
+			name := fmt.Sprintf("%s/%v", mi.Name, o)
+			opt := equivalenceOpt(mi.Method, o)
+			oneShot, err := Solve(s, b, opt)
+			if err != nil {
+				t.Errorf("%s: one-shot Solve: %v", name, err)
+				continue
+			}
+			if !mi.Prepared {
+				if _, err := NewSolver(s, opt); err == nil {
+					t.Errorf("%s: NewSolver accepted a contracting plan", name)
+				}
+				continue
+			}
+			solver, err := NewSolver(s, opt)
+			if err != nil {
+				t.Errorf("%s: NewSolver: %v", name, err)
+				continue
+			}
+			prepared, err := solver.Solve(b)
+			if err != nil {
+				t.Errorf("%s: prepared Solve: %v", name, err)
+				continue
+			}
+			if prepared.Iterations != oneShot.Iterations {
+				t.Errorf("%s: prepared took %d iterations, one-shot %d",
+					name, prepared.Iterations, oneShot.Iterations)
+			}
+			if prepared.FactorNNZ != oneShot.FactorNNZ {
+				t.Errorf("%s: prepared |L|=%d, one-shot |L|=%d",
+					name, prepared.FactorNNZ, oneShot.FactorNNZ)
+			}
+			assertBitwise(t, name+" front-end equivalence", prepared.X, oneShot.X)
+		}
+	}
+}
+
+// TestFrontEndEquivalenceUnderRecovery repeats the identity check with
+// the recovery ladder armed: the Runner's plan rewriting must be
+// front-end independent too, trail included.
+func TestFrontEndEquivalenceUnderRecovery(t *testing.T) {
+	s, b, _ := testProblem(t)
+	for _, m := range []Method{MethodPowerRChol, MethodRChol, MethodLTRChol} {
+		opt := equivalenceOpt(m, OrderDefault)
+		opt.Retry = RetryPolicy{MaxAttempts: 4, Escalate: true}
+		oneShot, err := Solve(s, b, opt)
+		if err != nil {
+			t.Fatalf("%v one-shot: %v", m, err)
+		}
+		solver, err := NewSolver(s, opt)
+		if err != nil {
+			t.Fatalf("%v NewSolver: %v", m, err)
+		}
+		prepared, err := solver.Solve(b)
+		if err != nil {
+			t.Fatalf("%v prepared: %v", m, err)
+		}
+		assertBitwise(t, m.String()+" recovery-armed equivalence", prepared.X, oneShot.X)
+		if len(solver.SetupAttempts()) != 1 || solver.SetupAttempts()[0].Err != "" {
+			t.Fatalf("%v: setup trail = %v, want single success", m, solver.SetupAttempts())
+		}
+	}
+}
+
+// checkComposition solves the test grid under opt and checks the
+// solution against the dense reference to 1e-6.
+func checkComposition(t *testing.T, name string, opt Options) *Result {
+	t.Helper()
+	s, b, want := testProblem(t)
+	res, err := Solve(s, b, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.Converged {
+		t.Fatalf("%s: not converged (residual %g)", name, res.Residual)
+	}
+	var maxErr float64
+	for i := range want {
+		if e := math.Abs(res.X[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("%s: solution off by %g", name, maxErr)
+	}
+	return res
+}
+
+// TestCompositionMergeWithRandomizedFactor: PowerRush's resistor-merge
+// contraction feeding the paper's randomized LT-RChol preconditioner —
+// a composition the pre-pipeline front-ends could not express (the
+// contraction was welded to AMG inside the PowerRush arm).
+func TestCompositionMergeWithRandomizedFactor(t *testing.T) {
+	for _, m := range []Method{MethodPowerRChol, MethodLTRChol, MethodRChol} {
+		opt := Options{Method: m, Transform: TransformMerge, Tol: 1e-10, MaxIter: 5000, Seed: 3}
+		res := checkComposition(t, m.String()+"+merge", opt)
+		if res.Iterations == 0 {
+			t.Fatalf("%v+merge: zero iterations reported", m)
+		}
+		// Contraction changes the unknowns, so the prepared front-end
+		// must keep refusing this plan no matter the method.
+		s, _, _ := testProblem(t)
+		if _, err := NewSolver(s, opt); err == nil {
+			t.Fatalf("%v+merge: NewSolver accepted a contracting plan", m)
+		}
+	}
+}
+
+// TestCompositionMergeActuallyContracts: on a grid overlaid with
+// near-short-circuit vias the merge transform genuinely contracts, the
+// randomized factor is built on the smaller system, and the expanded
+// solution still tracks the full solve to the via-resistance scale.
+func TestCompositionMergeActuallyContracts(t *testing.T) {
+	r := rng.New(7)
+	nx, ny := 12, 12
+	g := testmat.Grid2D(nx, ny)
+	for k := 0; k < 10; k++ {
+		u := r.Intn(nx*ny - 1)
+		g.MustAddEdge(u, u+1, 1e7)
+	}
+	d := make([]float64, nx*ny)
+	d[0], d[nx*ny-1] = 1, 1
+	s, err := graph.NewSDDM(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, s.N())
+	for i := range b {
+		b[i] = r.Float64() * 0.01
+	}
+	want, err := testmat.DenseSolveSPD(s.ToCSC().Dense(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Solve(s, b, Options{Method: MethodPowerRChol, Transform: TransformNone, Tol: 1e-12, MaxIter: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Solve(s, b, Options{Method: MethodPowerRChol, Transform: TransformMerge, Tol: 1e-12, MaxIter: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Converged {
+		t.Fatalf("merged solve did not converge: %g", merged.Residual)
+	}
+	if len(merged.X) != s.N() {
+		t.Fatalf("solution not expanded to the original unknowns: %d vs %d", len(merged.X), s.N())
+	}
+	if merged.FactorNNZ >= full.FactorNNZ {
+		t.Fatalf("vias were not contracted: merged |L|=%d, full |L|=%d", merged.FactorNNZ, full.FactorNNZ)
+	}
+	var maxErr, scale float64
+	for i := range want {
+		if e := math.Abs(merged.X[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+		if a := math.Abs(want[i]); a > scale {
+			scale = a
+		}
+	}
+	if maxErr > 1e-3*scale {
+		t.Fatalf("contracted solution off by %g (scale %g)", maxErr, scale)
+	}
+}
+
+// TestCompositionFeGRASSWithRandomizedFactor: a feGRASS spectral
+// sparsifier feeding LT-RChol/RChol — the other previously impossible
+// composition (sparsification was welded to complete/incomplete
+// Cholesky in the feGRASS arms). The factor is built on the
+// sparsifier, iteration runs on the original system, so the plan is
+// prepared-compatible; both front-ends must agree bitwise.
+func TestCompositionFeGRASSWithRandomizedFactor(t *testing.T) {
+	s, b, _ := testProblem(t)
+	for _, m := range []Method{MethodPowerRChol, MethodLTRChol} {
+		opt := Options{Method: m, Transform: TransformFeGRASS, Tol: 1e-10, MaxIter: 5000, Seed: 3}
+		res := checkComposition(t, m.String()+"+fegrass", opt)
+		if res.Iterations == 0 {
+			t.Fatalf("%v+fegrass: zero iterations reported", m)
+		}
+		solver, err := NewSolver(s, opt)
+		if err != nil {
+			t.Fatalf("%v+fegrass: NewSolver: %v", m, err)
+		}
+		prepared, err := solver.Solve(b)
+		if err != nil {
+			t.Fatalf("%v+fegrass: prepared Solve: %v", m, err)
+		}
+		assertBitwise(t, m.String()+"+fegrass front-end equivalence", prepared.X, res.X)
+	}
+}
+
+// TestTransformNoneStripsDefaults: TransformNone must disable the
+// method's own transform stage — feGRASS without sparsification is a
+// complete Cholesky of the original system, i.e. an exact solve.
+func TestTransformNoneStripsDefaults(t *testing.T) {
+	res := checkComposition(t, "fegrass+none",
+		Options{Method: MethodFeGRASS, Transform: TransformNone, Tol: 1e-10})
+	if res.Iterations != 0 {
+		t.Fatalf("unsparsified feGRASS is a complete factor; want exact apply, got %d iterations", res.Iterations)
+	}
+}
+
+// TestCancelEveryPreparedMethod: a pre-cancelled context must abort
+// NewSolverContext for every registered method — this is what forces
+// the transform/order/factorize stages of every composition (ichol,
+// feGRASS, AMG setup included) to carry the context. PowerRush has no
+// prepared form, so its one-shot setup is checked instead.
+func TestCancelEveryPreparedMethod(t *testing.T) {
+	s, b, _ := testProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mi := range Methods() {
+		opt := equivalenceOpt(mi.Method, OrderDefault)
+		if !mi.Prepared {
+			if _, err := SolveContext(ctx, s, b, opt); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: one-shot setup under cancelled ctx: got %v, want context.Canceled", mi.Name, err)
+			}
+			continue
+		}
+		if _, err := NewSolverContext(ctx, s, opt); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: NewSolverContext under cancelled ctx: got %v, want context.Canceled", mi.Name, err)
+		}
+	}
+}

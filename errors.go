@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"powerrchol/internal/pipeline"
 )
 
 // ErrNotConverged is the sentinel matched by errors.Is when the iteration
@@ -31,24 +33,10 @@ func (e *NotConvergedError) Is(target error) bool { return target == ErrNotConve
 
 // Attempt records one rung of the recovery ladder: which configuration
 // ran, and how it ended. A trail of Attempts appears in Result.Attempts
-// on success and in SolveError.Attempts when every rung failed.
-type Attempt struct {
-	Method     Method
-	Ordering   Ordering
-	Seed       uint64  // factorization seed used by this attempt
-	Iterations int     // PCG iterations run (0 if factorization failed)
-	Residual   float64 // best relative residual reached (0 if factorization failed)
-	Err        string  // failure reason; "" for a successful attempt
-}
-
-func (a Attempt) String() string {
-	state := "ok"
-	if a.Err != "" {
-		state = a.Err
-	}
-	return fmt.Sprintf("%v/%v seed=%d iters=%d res=%.3e: %s",
-		a.Method, a.Ordering, a.Seed, a.Iterations, a.Residual, state)
-}
+// on success and in SolveError.Attempts when every rung failed. It
+// aliases the pipeline's record type: the Runner produces the trail,
+// this package only reports it.
+type Attempt = pipeline.Attempt
 
 // SolveError reports that every rung of the recovery ladder failed. The
 // attempt trail says what was tried and why each rung died; Unwrap

@@ -8,6 +8,7 @@
 package amg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -103,6 +104,18 @@ func (p *Preconditioner) OperatorComplexity() float64 {
 // New builds the AMG hierarchy for the SPD matrix a (both triangles
 // stored).
 func New(a *sparse.CSC, opt Options) (*Preconditioner, error) {
+	return NewContext(context.Background(), a, opt)
+}
+
+// NewContext is New under a context: ctx is polled once per coarsening
+// level (each level's aggregation + Galerkin product is the unit of work
+// worth interrupting), and a cancelled or expired context aborts the
+// hierarchy construction with an error wrapping ctx.Err(). A nil ctx
+// means never cancelled.
+func NewContext(ctx context.Context, a *sparse.CSC, opt Options) (*Preconditioner, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("amg: matrix is %dx%d, not square", a.Rows, a.Cols)
 	}
@@ -122,6 +135,9 @@ func New(a *sparse.CSC, opt Options) (*Preconditioner, error) {
 	p := &Preconditioner{sweeps: opt.Smoothings}
 	cur := a
 	for len(p.levels) < opt.MaxLevels-1 && cur.Cols > opt.CoarsestSize {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("amg: setup cancelled at level %d: %w", len(p.levels), err)
+		}
 		agg, nc := aggregate(cur, opt.StrengthTheta)
 		if nc >= cur.Cols { // no coarsening progress; stop
 			break
@@ -137,6 +153,9 @@ func New(a *sparse.CSC, opt Options) (*Preconditioner, error) {
 		p.levels = append(p.levels, lv)
 	}
 	// dense Cholesky of the coarsest level
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("amg: setup cancelled before coarsest solve: %w", err)
+	}
 	p.coarseN = cur.Cols
 	l, err := denseCholesky(cur.Dense())
 	if err != nil {

@@ -1,0 +1,43 @@
+package amg
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"powerrchol/internal/testmat"
+)
+
+// TestCancelledContextAbortsSetup: a pre-cancelled context must stop
+// NewContext before the coarsening hierarchy is built.
+func TestCancelledContextAbortsSetup(t *testing.T) {
+	a := testmat.GridSDDM(32, 32).ToCSC()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewContext(ctx, a, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelContextVariantsAgree: nil and background contexts must
+// build the same hierarchy the plain New entry point builds.
+func TestCancelContextVariantsAgree(t *testing.T) {
+	a := testmat.GridSDDM(32, 32).ToCSC()
+	ref, err := New(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		p, err := NewContext(ctx, a, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Levels() != ref.Levels() {
+			t.Fatalf("context variant changed level count: %d vs %d", p.Levels(), ref.Levels())
+		}
+		if p.OperatorComplexity() != ref.OperatorComplexity() {
+			t.Fatalf("context variant changed operator complexity: %g vs %g",
+				p.OperatorComplexity(), ref.OperatorComplexity())
+		}
+	}
+}

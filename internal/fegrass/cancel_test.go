@@ -1,0 +1,47 @@
+package fegrass
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"powerrchol/internal/rng"
+	"powerrchol/internal/testmat"
+)
+
+// TestCancelledContextAbortsSparsify: a pre-cancelled context must stop
+// SparsifyContext at its first phase boundary.
+func TestCancelledContextAbortsSparsify(t *testing.T) {
+	s := testmat.RandomSDDM(rng.New(7), 200, 800)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SparsifyContext(ctx, s, DefaultRecoverFrac); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelContextVariantsAgree: nil and background contexts must give
+// the exact sparsifier the plain Sparsify entry point builds — the
+// polls must not perturb edge scoring or selection.
+func TestCancelContextVariantsAgree(t *testing.T) {
+	s := testmat.RandomSDDM(rng.New(7), 200, 800)
+	ref, err := Sparsify(s, DefaultRecoverFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		sp, err := SparsifyContext(ctx, s, DefaultRecoverFrac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.G.M() != ref.G.M() {
+			t.Fatalf("context variant changed edge count: %d vs %d", sp.G.M(), ref.G.M())
+		}
+		for i, e := range sp.G.Edges {
+			r := ref.G.Edges[i]
+			if e.U != r.U || e.V != r.V || e.W != r.W {
+				t.Fatalf("context variant changed edge %d: %+v vs %+v", i, e, r)
+			}
+		}
+	}
+}

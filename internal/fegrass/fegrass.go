@@ -14,11 +14,16 @@
 package fegrass
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"powerrchol/internal/graph"
 )
+
+// cancelCheckStride is how many edges are processed between context
+// polls, matching core's and chol's column stride.
+const cancelCheckStride = 1024
 
 // DefaultRecoverFrac is the paper's off-tree recovery budget for the
 // feGRASS-PCG baseline: 2% of |V| edges.
@@ -32,8 +37,22 @@ const IcholRecoverFrac = 0.50
 // spanning forest plus the ⌈frac·|V|⌉ off-tree edges with the largest
 // w_e·R_tree(e) scores. The diagonal slack D is carried over unchanged.
 func Sparsify(s *graph.SDDM, frac float64) (*graph.SDDM, error) {
+	return SparsifyContext(context.Background(), s, frac)
+}
+
+// SparsifyContext is Sparsify under a context: ctx is polled between the
+// construction phases and every cancelCheckStride edges inside them, and
+// a cancelled or expired context aborts the sparsification with an error
+// wrapping ctx.Err(). A nil ctx means never cancelled.
+func SparsifyContext(ctx context.Context, s *graph.SDDM, frac float64) (*graph.SDDM, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if frac < 0 {
 		return nil, fmt.Errorf("fegrass: negative recovery fraction %g", frac)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fegrass: cancelled before spanning forest: %w", err)
 	}
 	g := s.G
 	n := g.N
@@ -42,6 +61,9 @@ func Sparsify(s *graph.SDDM, frac float64) (*graph.SDDM, error) {
 	tree := make([]graph.Edge, len(treeIdx))
 	for i, e := range treeIdx {
 		tree[i] = g.Edges[e]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fegrass: cancelled before edge scoring: %w", err)
 	}
 	lca := newTreeResistance(n, tree)
 
@@ -52,6 +74,11 @@ func Sparsify(s *graph.SDDM, frac float64) (*graph.SDDM, error) {
 	}
 	sc := make([]scored, len(offIdx))
 	for i, ei := range offIdx {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fegrass: cancelled scoring edge %d of %d: %w", i, len(offIdx), err)
+			}
+		}
 		e := g.Edges[ei]
 		r := lca.Resistance(e.U, e.V)
 		sc[i] = scored{idx: ei, score: e.W * r}
@@ -63,10 +90,20 @@ func Sparsify(s *graph.SDDM, frac float64) (*graph.SDDM, error) {
 		budget = len(sc)
 	}
 	out := graph.New(n, len(tree)+budget)
-	for _, e := range tree {
+	for i, e := range tree {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fegrass: cancelled assembling sparsifier: %w", err)
+			}
+		}
 		out.MustAddEdge(e.U, e.V, e.W)
 	}
 	for i := 0; i < budget; i++ {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("fegrass: cancelled assembling sparsifier: %w", err)
+			}
+		}
 		e := g.Edges[sc[i].idx]
 		out.MustAddEdge(e.U, e.V, e.W)
 	}

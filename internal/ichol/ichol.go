@@ -6,6 +6,7 @@
 package ichol
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,10 @@ import (
 // DefaultDropTol is the drop tolerance used by the feGRASS-IChol baseline,
 // taken from the paper (Section 4.2).
 const DefaultDropTol = 8.5e-6
+
+// cancelCheckStride is how many columns are factorized between context
+// polls, matching core's and chol's stride.
+const cancelCheckStride = 1024
 
 // Options configure the incomplete factorization.
 type Options struct {
@@ -42,6 +47,17 @@ type Options struct {
 // perm. On pivot breakdown the factorization restarts with an increased
 // diagonal shift α·diag(A), which always terminates for SDD matrices.
 func Factorize(a *sparse.CSC, perm []int, opt Options) (*core.Factor, error) {
+	return FactorizeContext(context.Background(), a, perm, opt)
+}
+
+// FactorizeContext is Factorize under a context: ctx is polled every
+// cancelCheckStride columns, and a cancelled or expired context aborts
+// the factorization with an error wrapping ctx.Err(). A nil ctx means
+// never cancelled.
+func FactorizeContext(ctx context.Context, a *sparse.CSC, perm []int, opt Options) (*core.Factor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("ichol: matrix is %dx%d, not square", a.Rows, a.Cols)
 	}
@@ -61,7 +77,7 @@ func Factorize(a *sparse.CSC, perm []int, opt Options) (*core.Factor, error) {
 
 	shift := 0.0
 	for try := 0; ; try++ {
-		f, err := factorizeShifted(work, opt, shift)
+		f, err := factorizeShifted(ctx, work, opt, shift)
 		if err == nil {
 			if perm != nil {
 				f.Perm = perm
@@ -84,13 +100,18 @@ type entry struct {
 	val float64
 }
 
-func factorizeShifted(a *sparse.CSC, opt Options, shift float64) (*core.Factor, error) {
+func factorizeShifted(ctx context.Context, a *sparse.CSC, opt Options, shift float64) (*core.Factor, error) {
 	dropTol, zeroFill := opt.DropTol, opt.ZeroFill
 	n := a.Cols
 
 	// Column norms of A for the relative drop test.
 	colNorm := make([]float64, n)
 	for j := 0; j < n; j++ {
+		if j%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ichol: cancelled at column norm %d of %d: %w", j, n, err)
+			}
+		}
 		s := 0.0
 		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
 			s += a.Val[p] * a.Val[p]
@@ -118,6 +139,11 @@ func factorizeShifted(a *sparse.CSC, opt Options, shift float64) (*core.Factor, 
 	dcomp := make([]float64, n)
 
 	for k := 0; k < n; k++ {
+		if k%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("ichol: factorization cancelled at column %d of %d: %w", k, n, err)
+			}
+		}
 		// Scatter A(k:n, k), with the shifted diagonal.
 		pattern = pattern[:0]
 		d := dcomp[k]
@@ -226,7 +252,7 @@ func factorizeShifted(a *sparse.CSC, opt Options, shift float64) (*core.Factor, 
 	rowIdx := make([]int, nnz)
 	val := make([]float64, nnz)
 	q := 0
-	for j, c := range cols {
+	for j, c := range cols { //pglint:ctxflow O(nnz) assembly copy; the factorization loop above already polls on the same columns
 		colPtr[j] = q
 		for _, e := range c {
 			rowIdx[q] = e.row

@@ -18,12 +18,13 @@
 //     that has a Context sibling: calling F(…) when F's package or
 //     receiver also offers FContext(ctx, …) severs the chain exactly the
 //     way s.Solve(b) inside SolveBatchContext would.
-//  4. In numeric packages (internal/lint/policy), every outermost loop of
-//     a carrying function that does real work (contains a call or a
-//     nested loop) must reach a cancellation check: ctx.Err(), ctx.Done(),
-//     or delegation — passing the context (or the struct carrying it) to
-//     a callee. This is the machine check for Alg. 3's every-1024-pivots
-//     rule and PCG's per-iteration check.
+//  4. In numeric and orchestration packages (internal/lint/policy),
+//     every outermost loop of a carrying function that does real work
+//     (contains a call or a nested loop) must reach a cancellation
+//     check: ctx.Err(), ctx.Done(), or delegation — passing the context
+//     (or the struct carrying it) to a callee. This is the machine check
+//     for Alg. 3's every-1024-pivots rule, PCG's per-iteration check,
+//     and the pipeline Runner's per-rung poll.
 //
 // ctxflow is also the suite's directive janitor: it reports //pglint:
 // directives whose name no analyzer owns (see KnownDirectives).
@@ -90,7 +91,7 @@ func checkFunc(pass *analysis.Pass, dirs *directive.Index, fn *ssalite.Function)
 			checkSeveredSibling(pass, dirs, c)
 		}
 	}
-	if carries && policy.Numeric(pass.Pkg.Path()) {
+	if carries && (policy.Numeric(pass.Pkg.Path()) || policy.Orchestration(pass.Pkg.Path())) {
 		checkLoopCancellation(pass, dirs, fn)
 	}
 }

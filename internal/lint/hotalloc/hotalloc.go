@@ -1,6 +1,7 @@
 // Package hotalloc flags heap allocations in the innermost loops of the
 // hot kernel packages (internal/sparse, internal/chol, internal/core,
-// internal/pcg — see internal/lint/policy).
+// internal/pcg) and of the kernel-orchestration packages
+// (internal/pipeline) — see internal/lint/policy.
 //
 // The paper's complexity argument is allocation-free inner loops: LT-RChol
 // wins because one elimination step costs O(|Nk|) merge-scan work, and a
@@ -48,7 +49,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	dirs := directive.New(pass)
 	dirs.Validate(pass, DirectiveName)
-	if !policy.Hot(pass.Pkg.Path()) {
+	if !policy.Hot(pass.Pkg.Path()) && !policy.Orchestration(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)

@@ -44,6 +44,19 @@ var hot = []string{
 	"internal/sparse",
 }
 
+// orchestration lists the packages that compose and drive the numeric
+// kernels without being kernels themselves: the setup pipeline that
+// wires transform/order/factorize stages together and owns the recovery
+// ladder. Orchestration code legitimately reads wall-clock time (it
+// reports the paper's T_r/T_f/T_i timings), so the time.Now ban does not
+// apply — but it carries every context and sits on every setup path, so
+// the ctxflow loop-cancellation rule and the hotalloc loop-allocation
+// rules sweep it exactly like the kernels. Subpackages inherit the
+// classification.
+var orchestration = []string{
+	"internal/pipeline",
+}
+
 // randSanctioned lists the packages allowed to import math/rand: only the
 // seeded-generator package itself, which exists precisely so nothing else
 // has to. (It currently implements splitmix64 without stdlib rand; the
@@ -88,6 +101,12 @@ func RandSanctioned(path string) bool { return inSet(path, randSanctioned) }
 // Hot reports whether the package at path is a hot kernel package, i.e.
 // subject to the hotalloc innermost-loop allocation rules.
 func Hot(path string) bool { return inSet(path, hot) }
+
+// Orchestration reports whether the package at path is kernel
+// orchestration: not a numeric kernel (ambient time allowed for phase
+// timings), but swept by the ctxflow loop-cancellation rule and the
+// hotalloc loop-allocation rules all the same.
+func Orchestration(path string) bool { return inSet(path, orchestration) }
 
 // Library reports whether the package at path is library code, i.e. code
 // that must receive its context from the caller rather than minting one

@@ -1,0 +1,175 @@
+package pipeline
+
+import "fmt"
+
+// Method selects the solver pipeline. The root powerrchol package
+// aliases this type (and its constants) so the public API is unchanged;
+// the definition lives here because the pipeline registry — the single
+// source of truth for what each method composes — is keyed by it.
+type Method int
+
+const (
+	// MethodPowerRChol is the paper's contribution: Alg. 4 reordering +
+	// LT-RChol (Alg. 3) preconditioned CG. The default.
+	MethodPowerRChol Method = iota
+	// MethodRChol is the original RChol baseline [3]: AMD reordering +
+	// Alg. 1 preconditioned CG (ordering overridable via Options.Ordering).
+	MethodRChol
+	// MethodLTRChol is LT-RChol under a selectable ordering (defaults to
+	// AMD, the Table 1 configuration).
+	MethodLTRChol
+	// MethodFeGRASS is the feGRASS-PCG baseline [11]: spectral sparsifier
+	// (2%|V| off-tree edges) factorized completely under AMD.
+	MethodFeGRASS
+	// MethodFeGRASSIChol is the feGRASS-IChol baseline [9]: 50%|V|
+	// off-tree edges recovered, incomplete Cholesky with drop tol 8.5e-6.
+	MethodFeGRASSIChol
+	// MethodAMG is the aggregation-AMG preconditioned CG inside
+	// PowerRush [14].
+	MethodAMG
+	// MethodPowerRush is AMG-PCG plus the merge-small-resistors trick.
+	MethodPowerRush
+	// MethodDirect is a complete sparse Cholesky (AMD-ordered) solve.
+	MethodDirect
+	// MethodJacobi is diagonally preconditioned CG, a weak reference point.
+	MethodJacobi
+	// MethodSSOR is symmetric-successive-over-relaxation preconditioned
+	// CG: zero setup cost, between Jacobi and the factorization methods.
+	MethodSSOR
+)
+
+var methodNames = map[Method]string{
+	MethodPowerRChol:   "powerrchol",
+	MethodRChol:        "rchol",
+	MethodLTRChol:      "lt-rchol",
+	MethodFeGRASS:      "fegrass",
+	MethodFeGRASSIChol: "fegrass-ichol",
+	MethodAMG:          "amg",
+	MethodPowerRush:    "powerrush",
+	MethodDirect:       "direct",
+	MethodJacobi:       "jacobi",
+	MethodSSOR:         "ssor",
+}
+
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// MethodByName resolves the CLI spelling of a method.
+func MethodByName(name string) (Method, error) {
+	for m, s := range methodNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("powerrchol: unknown method %q", name)
+}
+
+// Ordering selects the fill-reducing permutation for the randomized and
+// direct factorizations.
+type Ordering int
+
+const (
+	// OrderDefault picks the method's paper configuration: Alg. 4 for
+	// PowerRChol, AMD for RChol/LT-RChol/Direct/feGRASS.
+	OrderDefault Ordering = iota
+	// OrderAlg4 is the paper's LT-RChol-oriented reordering.
+	OrderAlg4
+	// OrderAMD is approximate minimum degree.
+	OrderAMD
+	// OrderNatural keeps the input order.
+	OrderNatural
+	// OrderRCM is reverse Cuthill-McKee.
+	OrderRCM
+	// OrderND is BFS-separator nested dissection.
+	OrderND
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderDefault:
+		return "default"
+	case OrderAlg4:
+		return "alg4"
+	case OrderAMD:
+		return "amd"
+	case OrderNatural:
+		return "natural"
+	case OrderRCM:
+		return "rcm"
+	case OrderND:
+		return "nd"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Transform selects the optional sparsify/contract stage that runs
+// before ordering and factorization. TransformDefault keeps each
+// method's paper configuration (feGRASS sparsification for the feGRASS
+// methods, resistor-merge contraction for PowerRush, none elsewhere);
+// the other values override it, composing any transform with any
+// factorizer — e.g. a feGRASS-sparsified LT-RChol, or PowerRush
+// contraction over a randomized inner preconditioner.
+type Transform int
+
+const (
+	// TransformDefault is the method's own paper configuration.
+	TransformDefault Transform = iota
+	// TransformNone disables the method's transform stage.
+	TransformNone
+	// TransformFeGRASS feeds the factorizer a feGRASS spectral
+	// sparsifier of the system; PCG still iterates on the original.
+	TransformFeGRASS
+	// TransformMerge contracts small resistors (PowerRush's trick)
+	// before every later stage; PCG iterates on the contracted system
+	// and the solution is expanded back to the original nodes.
+	TransformMerge
+)
+
+func (t Transform) String() string {
+	switch t {
+	case TransformDefault:
+		return "default"
+	case TransformNone:
+		return "none"
+	case TransformFeGRASS:
+		return "fegrass"
+	case TransformMerge:
+		return "merge"
+	}
+	return fmt.Sprintf("Transform(%d)", int(t))
+}
+
+// TransformByName resolves the CLI spelling of a transform stage.
+func TransformByName(name string) (Transform, error) {
+	for _, t := range []Transform{TransformDefault, TransformNone, TransformFeGRASS, TransformMerge} {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("powerrchol: unknown transform %q", name)
+}
+
+// Attempt records one rung of the recovery ladder: which configuration
+// ran, and how it ended. A trail of Attempts appears in Result.Attempts
+// on success and in SolveError.Attempts when every rung failed.
+type Attempt struct {
+	Method     Method
+	Ordering   Ordering
+	Seed       uint64  // factorization seed used by this attempt
+	Iterations int     // PCG iterations run (0 if factorization failed)
+	Residual   float64 // best relative residual reached (0 if factorization failed)
+	Err        string  // failure reason; "" for a successful attempt
+}
+
+func (a Attempt) String() string {
+	state := "ok"
+	if a.Err != "" {
+		state = a.Err
+	}
+	return fmt.Sprintf("%v/%v seed=%d iters=%d res=%.3e: %s",
+		a.Method, a.Ordering, a.Seed, a.Iterations, a.Residual, state)
+}

@@ -1,0 +1,289 @@
+// Package pipeline is the staged setup layer shared by both solve
+// front-ends of the powerrchol module: the one-shot Solve path and the
+// prepared (amortized) Solver path. A solve setup is a plan — one or
+// more rungs, each the composition of an optional Transformer (feGRASS
+// sparsify, PowerRush resistor-merge contraction, identity), an Orderer
+// (Alg. 4, AMD, RCM, ND, natural, with the heavy-node tie-break RNG on
+// retry rungs) and a Factorizer (LT-RChol, RChol, complete Cholesky,
+// IChol, AMG, Jacobi, SSOR). The recovery ladder (reseed → RChol/AMD →
+// direct Cholesky) is plan rewriting: attemptPlan lays the rungs out up
+// front and the Runner simply walks them, so both front-ends get the
+// identical ladder, per-stage timings and Attempt trail from one piece
+// of code.
+//
+// The registry (registry.go) maps each public Method to its default
+// stage composition; Config.Transform overrides the transform stage
+// independently of the method, which is what unlocks the compositions
+// the paper's Table 2 hints at but the old per-method switch forbade —
+// a feGRASS-sparsified LT-RChol, or PowerRush contraction over any
+// inner preconditioner.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"powerrchol/internal/core"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/pcg"
+)
+
+// Config is the pipeline-level view of the public Options: everything
+// the setup stages need, with the method's registry spec resolving the
+// OrderDefault / TransformDefault placeholders.
+type Config struct {
+	Method    Method
+	Ordering  Ordering
+	Transform Transform
+	Seed      uint64
+
+	Buckets     int     // LT-RChol counting-sort resolution (0 = default)
+	Samples     int     // RChol-k samples per elimination (0/1 = paper)
+	HeavyFactor float64 // Alg. 4 heavy-edge threshold (0 = default)
+	RecoverFrac float64 // feGRASS off-tree recovery budget (0 = per-method default)
+	DropTol     float64 // feGRASS-IChol drop tolerance (0 = default)
+	MergeFactor float64 // PowerRush contraction threshold (0 = default)
+
+	// Workers > 1 level-schedules the factor's triangular solves right
+	// after factorization, so Apply can run them across goroutines
+	// (bitwise identical to the serial solves).
+	Workers int
+
+	Retry RetryPolicy
+
+	// Prepared rejects plans that contract the unknowns: the amortized
+	// Solver front-end solves in the original node space, so a
+	// contraction-bearing plan must use the one-shot path.
+	Prepared bool
+
+	// FactorOpts and WrapPrecond intercept the per-attempt pipeline for
+	// deterministic fault injection in tests; always nil in production.
+	FactorOpts  func(attempt int, o core.Options) core.Options
+	WrapPrecond func(attempt int, m pcg.Preconditioner) pcg.Preconditioner
+}
+
+// Setup is one rung's built preconditioner plus everything a front-end
+// needs to run (or skip) the iteration phase.
+type Setup struct {
+	// Method and Ordering identify the rung that built this setup (the
+	// requested method, or a ladder escalation).
+	Method   Method
+	Ordering Ordering
+	// Sys is the system PCG iterates on: the input system, or the
+	// contracted one when the plan carries a contraction.
+	Sys *graph.SDDM
+	// M is the preconditioner, already level-scheduled (Workers) and
+	// hook-wrapped.
+	M pcg.Preconditioner
+	// Exact reports that M solves Sys exactly (complete Cholesky with no
+	// sparsifying transform in the way): apply it once instead of
+	// iterating.
+	Exact bool
+	// FactorNNZ is |L| (0 for the matrix-free preconditioners).
+	FactorNNZ int
+	// Fold and Expand map right-hand sides into and solutions out of the
+	// transformed space; nil means identity.
+	Fold   func(b []float64) []float64
+	Expand func(x []float64) []float64
+	// Reorder (transform + ordering) and Factorize are this rung's
+	// per-stage setup timings.
+	Reorder   time.Duration
+	Factorize time.Duration
+}
+
+// Runner walks a plan: Next builds rungs until one factorizes, the
+// front-end runs its iteration phase, and Succeed/FailSolve close the
+// attempt out — FailSolve reporting whether another rung should run.
+// The Attempt trail accumulates across both phases.
+type Runner struct {
+	sys       *graph.SDDM
+	cfg       Config
+	spec      *Spec
+	transform Transformer
+	plan      []rung
+	next      int
+	trail     []Attempt
+	pending   Attempt // attempt record of the setup Next last returned
+}
+
+// NewRunner resolves cfg against the method registry and lays out the
+// plan. It fails fast on an unknown method or transform, and on a
+// contraction-bearing plan when cfg.Prepared is set.
+func NewRunner(sys *graph.SDDM, cfg Config) (*Runner, error) {
+	spec, err := specFor(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	transform, resolved, err := transformerFor(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Prepared && resolved == TransformMerge {
+		return nil, errContracts(cfg)
+	}
+	r := &Runner{sys: sys, cfg: cfg, spec: spec, transform: transform}
+	if spec.Ladder {
+		r.plan = attemptPlan(cfg)
+		return r, nil
+	}
+	ordering := cfg.Ordering
+	if ordering == OrderDefault {
+		ordering = spec.DefaultOrdering
+	}
+	r.plan = []rung{{method: cfg.Method, ordering: ordering, seed: cfg.Seed}}
+	return r, nil
+}
+
+func errContracts(cfg Config) error {
+	if cfg.Method == MethodPowerRush {
+		return errors.New("powerrchol: MethodPowerRush contracts the system; use Solve instead of NewSolver")
+	}
+	return errors.New("powerrchol: TransformMerge contracts the system; use Solve instead of NewSolver")
+}
+
+// Ladder reports whether this plan is subject to the recovery ladder
+// (and therefore to Attempt-trail recording and SolveError wrapping).
+func (r *Runner) Ladder() bool { return r.spec.Ladder }
+
+// Trail returns the Attempt trail recorded so far. The slice is shared;
+// callers must not mutate it.
+func (r *Runner) Trail() []Attempt { return r.trail }
+
+// Next builds the next rung's setup, walking factorization failures
+// down the ladder internally: a recoverable failure with rungs left
+// falls through to the next rung, anything else (or a context
+// cancellation, returned unwrapped) surfaces to the caller with the
+// trail recorded.
+func (r *Runner) Next(ctx context.Context) (*Setup, error) {
+	for r.next < len(r.plan) {
+		i := r.next
+		r.next++
+		setup, att, err := r.buildRung(ctx, i) //pglint:hotalloc per-attempt setup, bounded by Retry.MaxAttempts; the allocations are the product
+		if err != nil {
+			if ctxDone(err) {
+				return nil, err
+			}
+			att.Err = err.Error()
+			if r.spec.Ladder {
+				r.trail = append(r.trail, att) //pglint:hotalloc one append per failed attempt, bounded by Retry.MaxAttempts
+			}
+			if r.next < len(r.plan) && recoverable(err) {
+				continue
+			}
+			return nil, err
+		}
+		r.pending = att
+		return setup, nil
+	}
+	return nil, errors.New("powerrchol: attempt plan exhausted")
+}
+
+// buildRung runs one rung's transform → order → factorize chain.
+func (r *Runner) buildRung(ctx context.Context, i int) (*Setup, Attempt, error) {
+	rg := r.plan[i]
+	att := Attempt{Method: rg.method, Ordering: rg.ordering, Seed: rg.seed}
+	if err := ctx.Err(); err != nil {
+		// Diagnose the abort point like the stage-internal polls do — a
+		// bare ctx error tells the user nothing about where setup stopped.
+		return nil, att, fmt.Errorf("powerrchol: setup cancelled before %v attempt %d: %w", rg.method, i, err)
+	}
+
+	t0 := time.Now()
+	tr, err := r.transform.Transform(ctx, r.sys)
+	if err != nil {
+		return nil, att, err
+	}
+	var perm []int
+	if r.spec.Ordered {
+		ord := OrdererFor(rg.ordering, r.cfg.HeavyFactor)
+		perm = ord.Order(tr.Precond.G, orderTieRng(rg.seed, i))
+	}
+	reorder := time.Since(t0)
+
+	t0 = time.Now()
+	fac := r.factorizerFor(rg, i)
+	m, nnz, err := fac.Factorize(ctx, tr.Precond, perm)
+	if err != nil {
+		return nil, att, err
+	}
+	factorize := time.Since(t0)
+
+	if r.cfg.Workers > 1 {
+		if f, ok := m.(*core.Factor); ok {
+			f.Parallelize(r.cfg.Workers)
+		}
+	}
+	if r.cfg.WrapPrecond != nil {
+		m = r.cfg.WrapPrecond(i, m)
+	}
+	return &Setup{
+		Method:    rg.method,
+		Ordering:  rg.ordering,
+		Sys:       tr.Iterate,
+		M:         m,
+		Exact:     fac.Exact() && tr.Precond == tr.Iterate,
+		FactorNNZ: nnz,
+		Fold:      tr.Fold,
+		Expand:    tr.Expand,
+		Reorder:   reorder,
+		Factorize: factorize,
+	}, att, nil
+}
+
+// factorizerFor materializes the factorizer stage for one rung. Ladder
+// rungs carry their own escalation configuration (reseeded variant or
+// the direct Cholesky bottom rung); everything else uses the spec's
+// fixed factorizer.
+func (r *Runner) factorizerFor(rg rung, attempt int) Factorizer {
+	if !r.spec.Ladder {
+		return r.spec.newFactorizer(r.cfg)
+	}
+	if rg.direct {
+		return cholFactorizer{ladder: true}
+	}
+	return randomizedFactorizer{
+		variant: rg.variant,
+		seed:    rg.seed,
+		buckets: r.cfg.Buckets,
+		samples: r.cfg.Samples,
+		attempt: attempt,
+		hook:    r.cfg.FactorOpts,
+	}
+}
+
+// Succeed closes the pending attempt out as converged and returns the
+// trail the caller should attach to its Result: nil when recovery never
+// engaged (no failures and a single-attempt policy), so a plain solve
+// keeps exactly the historical result shape.
+func (r *Runner) Succeed(iters int, residual float64) []Attempt {
+	if !r.spec.Ladder {
+		return nil
+	}
+	att := r.pending
+	att.Iterations = iters
+	att.Residual = residual
+	if len(r.trail) > 0 || r.cfg.Retry.MaxAttempts > 1 {
+		r.trail = append(r.trail, att)
+		return r.trail
+	}
+	return nil
+}
+
+// FailSolve records an iteration-phase failure against the pending
+// attempt and reports whether the caller should request the next rung:
+// true only when rungs remain and the failure is the recoverable kind
+// (indefiniteness, stagnation, divergence — not cancellation, not a
+// plain iteration-cap exit).
+func (r *Runner) FailSolve(err error, iters int, residual float64) bool {
+	if !r.spec.Ladder {
+		return false
+	}
+	att := r.pending
+	att.Err = err.Error()
+	att.Iterations = iters
+	att.Residual = residual
+	r.trail = append(r.trail, att)
+	return r.next < len(r.plan) && recoverable(err)
+}

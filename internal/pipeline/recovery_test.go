@@ -1,0 +1,226 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"powerrchol/internal/core"
+	"powerrchol/internal/pcg"
+)
+
+// The ladder is plain data — attemptPlan lays every rung out up front —
+// so its invariants are tested as table lookups, with no solver in the
+// loop: reseeds come before escalation, the direct rung is always last,
+// and attempt 0 never perturbs the deterministic tie-breaking.
+
+func planString(plan []rung) string {
+	s := ""
+	for _, r := range plan {
+		s += fmt.Sprintf("%v/%v seed=%d direct=%v; ", r.method, r.ordering, r.seed, r.direct)
+	}
+	return s
+}
+
+func TestAttemptPlanShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want []rung
+	}{
+		{
+			name: "no retry is a single base rung",
+			cfg:  Config{Method: MethodPowerRChol, Seed: 7},
+			want: []rung{
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: 7},
+			},
+		},
+		{
+			name: "MaxAttempts 1 equals no retry",
+			cfg:  Config{Method: MethodPowerRChol, Seed: 7, Retry: RetryPolicy{MaxAttempts: 1}},
+			want: []rung{
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: 7},
+			},
+		},
+		{
+			name: "reseeds only without Escalate",
+			cfg:  Config{Method: MethodPowerRChol, Seed: 7, Retry: RetryPolicy{MaxAttempts: 3}},
+			want: []rung{
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: 7},
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: reseed(7, 1)},
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: reseed(7, 2)},
+			},
+		},
+		{
+			name: "full escalation ladder",
+			cfg:  Config{Method: MethodPowerRChol, Seed: 7, Retry: RetryPolicy{MaxAttempts: 4, Escalate: true}},
+			want: []rung{
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: 7},
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: reseed(7, 1)},
+				{method: MethodRChol, ordering: OrderAMD, variant: core.VariantRChol, seed: reseed(7, 2)},
+				{method: MethodDirect, ordering: OrderAMD, direct: true},
+			},
+		},
+		{
+			name: "escalation truncates to MaxAttempts",
+			cfg:  Config{Method: MethodPowerRChol, Seed: 7, Retry: RetryPolicy{MaxAttempts: 2, Escalate: true}},
+			want: []rung{
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: 7},
+				{method: MethodPowerRChol, ordering: OrderAlg4, variant: core.VariantLT, seed: reseed(7, 1)},
+			},
+		},
+		{
+			name: "RChol base skips the redundant RChol rung",
+			cfg:  Config{Method: MethodRChol, Seed: 9, Retry: RetryPolicy{MaxAttempts: 4, Escalate: true}},
+			want: []rung{
+				{method: MethodRChol, ordering: OrderAMD, variant: core.VariantRChol, seed: 9},
+				{method: MethodRChol, ordering: OrderAMD, variant: core.VariantRChol, seed: reseed(9, 1)},
+				{method: MethodDirect, ordering: OrderAMD, direct: true},
+			},
+		},
+		{
+			name: "explicit ordering survives the reseeds",
+			cfg: Config{Method: MethodLTRChol, Ordering: OrderRCM, Seed: 5,
+				Retry: RetryPolicy{MaxAttempts: 3, Escalate: true}},
+			want: []rung{
+				{method: MethodLTRChol, ordering: OrderRCM, variant: core.VariantLT, seed: 5},
+				{method: MethodLTRChol, ordering: OrderRCM, variant: core.VariantLT, seed: reseed(5, 1)},
+				{method: MethodRChol, ordering: OrderAMD, variant: core.VariantRChol, seed: reseed(5, 2)},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := attemptPlan(tc.cfg)
+			if len(got) != len(tc.want) {
+				t.Fatalf("plan has %d rungs, want %d:\n got: %s\nwant: %s",
+					len(got), len(tc.want), planString(got), planString(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("rung %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAttemptPlanInvariants sweeps the ladder methods × policies and
+// checks the structural invariants that hold for every shape: the base
+// rung leads, reseeds precede any method escalation, seeds never
+// repeat, and the direct rung — when present — is deterministic and
+// terminal.
+func TestAttemptPlanInvariants(t *testing.T) {
+	for _, m := range []Method{MethodPowerRChol, MethodRChol, MethodLTRChol} {
+		for maxAttempts := 0; maxAttempts <= 6; maxAttempts++ {
+			for _, esc := range []bool{false, true} {
+				cfg := Config{Method: m, Seed: 101, Retry: RetryPolicy{MaxAttempts: maxAttempts, Escalate: esc}}
+				plan := attemptPlan(cfg)
+				name := fmt.Sprintf("%v max=%d escalate=%v", m, maxAttempts, esc)
+				if len(plan) == 0 {
+					t.Fatalf("%s: empty plan", name)
+				}
+				want := maxAttempts
+				if want < 1 {
+					want = 1
+				}
+				if len(plan) > want {
+					t.Errorf("%s: %d rungs exceed MaxAttempts", name, len(plan))
+				}
+				if plan[0] != baseRung(cfg) {
+					t.Errorf("%s: first rung %+v is not the base configuration", name, plan[0])
+				}
+				seeds := map[uint64]bool{}
+				escalated := false
+				for i, r := range plan {
+					if r.direct {
+						if i != len(plan)-1 {
+							t.Errorf("%s: direct rung %d is not last: %s", name, i, planString(plan))
+						}
+						if r.seed != 0 || r.method != MethodDirect || r.ordering != OrderAMD {
+							t.Errorf("%s: direct rung not deterministic AMD Cholesky: %+v", name, r)
+						}
+						continue
+					}
+					if seeds[r.seed] {
+						t.Errorf("%s: seed %d repeats at rung %d", name, r.seed, i)
+					}
+					seeds[r.seed] = true
+					if r.method != m {
+						escalated = true
+					} else if escalated {
+						t.Errorf("%s: reseed of the base method after escalation at rung %d: %s",
+							name, i, planString(plan))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOrderTieRngFirstAttemptIsNil: attempt 0 must keep the paper's
+// deterministic counting-sort ties — a recovery-armed solve whose first
+// attempt succeeds is bit-identical to a recovery-free solve.
+func TestOrderTieRngFirstAttemptIsNil(t *testing.T) {
+	if rng := orderTieRng(12345, 0); rng != nil {
+		t.Fatal("attempt 0 must use nil tie-break RNG (deterministic ties)")
+	}
+	r1, r2 := orderTieRng(12345, 1), orderTieRng(12345, 1)
+	if r1 == nil || r2 == nil {
+		t.Fatal("retry attempts must shuffle ties")
+	}
+	if a, b := r1.Float64(), r2.Float64(); a != b {
+		t.Fatalf("tie-break stream is not replayable: %g vs %g", a, b)
+	}
+}
+
+// TestReseedStreamsDistinct: the golden-ratio stride must give distinct
+// seeds across any plausible ladder depth, for adversarial base seeds
+// included.
+func TestReseedStreamsDistinct(t *testing.T) {
+	for _, base := range []uint64{0, 1, 7, ^uint64(0), 0x9e3779b97f4a7c15} {
+		seen := map[uint64]bool{}
+		for k := 0; k < 64; k++ {
+			s := reseed(base, k)
+			if seen[s] {
+				t.Fatalf("base %d: seed collision at attempt %d", base, k)
+			}
+			seen[s] = true
+		}
+		if reseed(base, 0) != base {
+			t.Fatalf("attempt 0 must keep the caller's seed")
+		}
+	}
+}
+
+// TestRecoverableClassification pins which failures fall through to the
+// next rung and which abort the ladder outright.
+func TestRecoverableClassification(t *testing.T) {
+	recover := []error{
+		core.ErrBreakdown,
+		pcg.ErrIndefinite,
+		pcg.ErrStagnated,
+		pcg.ErrDiverged,
+		fmt.Errorf("wrapped: %w", core.ErrBreakdown),
+	}
+	for _, err := range recover {
+		if !recoverable(err) {
+			t.Errorf("%v should be recoverable", err)
+		}
+	}
+	abort := []error{
+		context.Canceled,
+		context.DeadlineExceeded,
+		errors.New("powerrchol: rhs has wrong length"),
+		nil,
+	}
+	for _, err := range abort {
+		if recoverable(err) {
+			t.Errorf("%v should not be recoverable", err)
+		}
+	}
+	if !ctxDone(fmt.Errorf("pcg: cancelled: %w", context.Canceled)) || ctxDone(core.ErrBreakdown) {
+		t.Error("ctxDone misclassifies")
+	}
+}

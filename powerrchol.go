@@ -11,6 +11,14 @@
 // (PowerRush's core), PowerRush's resistor-merging trick, and a complete
 // sparse Cholesky direct solver — behind one Solve call.
 //
+// Every method is a composition of three pipeline stages — an optional
+// system transform (sparsify/contract), a fill-reducing ordering, and a
+// factorizer — assembled by internal/pipeline from a per-method registry.
+// Options.Transform overrides the transform stage independently of the
+// method, so combinations the paper's baselines keep separate (a
+// feGRASS-sparsified LT-RChol, PowerRush contraction over a randomized
+// preconditioner) are one field away.
+//
 // Quick start:
 //
 //	sys, _ := graph.SplitCSC(a, 1e-12)         // A = L_G + D
@@ -25,128 +33,124 @@ import (
 	"math"
 	"time"
 
-	"powerrchol/internal/amg"
-	"powerrchol/internal/chol"
 	"powerrchol/internal/core"
-	"powerrchol/internal/fegrass"
 	"powerrchol/internal/graph"
-	"powerrchol/internal/ichol"
-	"powerrchol/internal/merge"
-	"powerrchol/internal/order"
 	"powerrchol/internal/pcg"
-	"powerrchol/internal/rng"
+	"powerrchol/internal/pipeline"
 	"powerrchol/internal/sparse"
 )
 
-// Method selects the solver pipeline.
-type Method int
+// Method selects the solver pipeline. It aliases the pipeline registry's
+// key type: the registry (internal/pipeline) is the single source of
+// truth for what each method composes.
+type Method = pipeline.Method
 
 const (
 	// MethodPowerRChol is the paper's contribution: Alg. 4 reordering +
 	// LT-RChol (Alg. 3) preconditioned CG. The default.
-	MethodPowerRChol Method = iota
+	MethodPowerRChol = pipeline.MethodPowerRChol
 	// MethodRChol is the original RChol baseline [3]: AMD reordering +
 	// Alg. 1 preconditioned CG (ordering overridable via Options.Ordering).
-	MethodRChol
+	MethodRChol = pipeline.MethodRChol
 	// MethodLTRChol is LT-RChol under a selectable ordering (defaults to
 	// AMD, the Table 1 configuration).
-	MethodLTRChol
+	MethodLTRChol = pipeline.MethodLTRChol
 	// MethodFeGRASS is the feGRASS-PCG baseline [11]: spectral sparsifier
 	// (2%|V| off-tree edges) factorized completely under AMD.
-	MethodFeGRASS
+	MethodFeGRASS = pipeline.MethodFeGRASS
 	// MethodFeGRASSIChol is the feGRASS-IChol baseline [9]: 50%|V|
 	// off-tree edges recovered, incomplete Cholesky with drop tol 8.5e-6.
-	MethodFeGRASSIChol
+	MethodFeGRASSIChol = pipeline.MethodFeGRASSIChol
 	// MethodAMG is the aggregation-AMG preconditioned CG inside
 	// PowerRush [14].
-	MethodAMG
+	MethodAMG = pipeline.MethodAMG
 	// MethodPowerRush is AMG-PCG plus the merge-small-resistors trick.
-	MethodPowerRush
+	MethodPowerRush = pipeline.MethodPowerRush
 	// MethodDirect is a complete sparse Cholesky (AMD-ordered) solve.
-	MethodDirect
+	MethodDirect = pipeline.MethodDirect
 	// MethodJacobi is diagonally preconditioned CG, a weak reference point.
-	MethodJacobi
+	MethodJacobi = pipeline.MethodJacobi
 	// MethodSSOR is symmetric-successive-over-relaxation preconditioned
 	// CG: zero setup cost, between Jacobi and the factorization methods.
-	MethodSSOR
+	MethodSSOR = pipeline.MethodSSOR
 )
 
-var methodNames = map[Method]string{
-	MethodPowerRChol:   "powerrchol",
-	MethodRChol:        "rchol",
-	MethodLTRChol:      "lt-rchol",
-	MethodFeGRASS:      "fegrass",
-	MethodFeGRASSIChol: "fegrass-ichol",
-	MethodAMG:          "amg",
-	MethodPowerRush:    "powerrush",
-	MethodDirect:       "direct",
-	MethodJacobi:       "jacobi",
-	MethodSSOR:         "ssor",
-}
-
-func (m Method) String() string {
-	if s, ok := methodNames[m]; ok {
-		return s
-	}
-	return fmt.Sprintf("Method(%d)", int(m))
-}
-
 // MethodByName resolves the CLI spelling of a method.
-func MethodByName(name string) (Method, error) {
-	for m, s := range methodNames {
-		if s == name {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("powerrchol: unknown method %q", name)
-}
+func MethodByName(name string) (Method, error) { return pipeline.MethodByName(name) }
+
+// MethodInfo is one row of the method registry: the stage composition a
+// method resolves to (default transform, ordering, factorizer), whether
+// it runs the recovery ladder, and whether the amortized Solver
+// front-end supports it.
+type MethodInfo = pipeline.MethodInfo
+
+// Methods returns the method registry as a table sorted by Method
+// value — the single source of truth CLIs and docs derive their method
+// listings from.
+func Methods() []MethodInfo { return pipeline.Methods() }
 
 // Ordering selects the fill-reducing permutation for the randomized and
 // direct factorizations.
-type Ordering int
+type Ordering = pipeline.Ordering
 
 const (
 	// OrderDefault picks the method's paper configuration: Alg. 4 for
 	// PowerRChol, AMD for RChol/LT-RChol/Direct.
-	OrderDefault Ordering = iota
+	OrderDefault = pipeline.OrderDefault
 	// OrderAlg4 is the paper's LT-RChol-oriented reordering.
-	OrderAlg4
+	OrderAlg4 = pipeline.OrderAlg4
 	// OrderAMD is approximate minimum degree.
-	OrderAMD
+	OrderAMD = pipeline.OrderAMD
 	// OrderNatural keeps the input order.
-	OrderNatural
+	OrderNatural = pipeline.OrderNatural
 	// OrderRCM is reverse Cuthill-McKee.
-	OrderRCM
+	OrderRCM = pipeline.OrderRCM
 	// OrderND is BFS-separator nested dissection.
-	OrderND
+	OrderND = pipeline.OrderND
 )
 
-func (o Ordering) String() string {
-	switch o {
-	case OrderDefault:
-		return "default"
-	case OrderAlg4:
-		return "alg4"
-	case OrderAMD:
-		return "amd"
-	case OrderNatural:
-		return "natural"
-	case OrderRCM:
-		return "rcm"
-	case OrderND:
-		return "nd"
-	}
-	return fmt.Sprintf("Ordering(%d)", int(o))
-}
+// Transform selects the optional sparsify/contract stage that runs
+// before ordering and factorization, independently of the method's
+// factorizer. The zero value keeps each method's paper configuration.
+type Transform = pipeline.Transform
+
+const (
+	// TransformDefault is the method's own paper configuration: feGRASS
+	// sparsification for the feGRASS methods, resistor-merge contraction
+	// for PowerRush, none elsewhere.
+	TransformDefault = pipeline.TransformDefault
+	// TransformNone disables the method's transform stage.
+	TransformNone = pipeline.TransformNone
+	// TransformFeGRASS feeds the factorizer a feGRASS spectral sparsifier
+	// of the system; PCG still iterates on the original.
+	TransformFeGRASS = pipeline.TransformFeGRASS
+	// TransformMerge contracts small resistors (PowerRush's trick) before
+	// every later stage; PCG iterates on the contracted system and the
+	// solution is expanded back to the original nodes. Not supported by
+	// NewSolver (the contraction changes the unknowns).
+	TransformMerge = pipeline.TransformMerge
+)
+
+// TransformByName resolves the CLI spelling of a transform stage.
+func TransformByName(name string) (Transform, error) { return pipeline.TransformByName(name) }
+
+// RetryPolicy governs the bounded recovery ladder of the randomized
+// pipeline; see the pipeline definition for the full contract. The zero
+// value disables recovery.
+type RetryPolicy = pipeline.RetryPolicy
 
 // Options configure a solve. The zero value runs PowerRChol at the
 // paper's defaults (tol 1e-6, 500 iteration cap).
 type Options struct {
 	Method   Method
 	Ordering Ordering
-	Tol      float64 // relative residual target; default 1e-6
-	MaxIter  int     // default 500 (the paper's divergence cutoff)
-	Seed     uint64  // randomized factorization seed; retry rungs also derive their ordering tie-break stream from it
+	// Transform overrides the sparsify/contract stage of the pipeline.
+	// The zero value (TransformDefault) keeps the method's paper
+	// configuration; see Transform for the compositions this unlocks.
+	Transform Transform
+	Tol       float64 // relative residual target; default 1e-6
+	MaxIter   int     // default 500 (the paper's divergence cutoff)
+	Seed      uint64  // randomized factorization seed; retry rungs also derive their ordering tie-break stream from it
 
 	// Buckets overrides the LT-RChol counting-sort resolution (default 256).
 	Buckets int
@@ -184,25 +188,6 @@ type Options struct {
 	// injection. Settable only from tests in this package (recovery
 	// tests wire in internal/faultinject here); always nil in production.
 	hooks *faultHooks
-}
-
-// RetryPolicy governs the bounded recovery ladder of the randomized
-// pipeline. A randomized factorization is only good in expectation: a bad
-// draw, a near-singular grid or a stalled PCG run can fail a single
-// attempt even though the next one would succeed. When MaxAttempts > 1,
-// a failed attempt (factorization breakdown, indefinite preconditioner,
-// detected stagnation or divergence) is retried with a reseeded
-// factorization and, with Escalate, walked down the ladder
-// LT-RChol → RChol → direct Cholesky. Recovery never changes the result
-// of an attempt that succeeds: the first attempt is bitwise identical to
-// a solve with recovery disabled.
-type RetryPolicy struct {
-	// MaxAttempts bounds the total number of attempts, the first
-	// included. 0 or 1 means a single attempt (no recovery).
-	MaxAttempts int
-	// Escalate lets the later attempts switch methods down the ladder
-	// (LT-RChol → RChol → direct Cholesky) instead of only reseeding.
-	Escalate bool
 }
 
 // faultHooks intercepts each recovery attempt, for deterministic fault
@@ -251,6 +236,32 @@ func (o *Options) validate() error {
 		return fmt.Errorf("powerrchol: HeavyFactor %g is not a valid threshold", o.HeavyFactor)
 	}
 	return nil
+}
+
+// pipelineConfig maps the public Options onto the setup pipeline's
+// Config. prepared marks the amortized Solver front-end, which rejects
+// contraction-bearing plans.
+func (o Options) pipelineConfig(prepared bool) pipeline.Config {
+	cfg := pipeline.Config{
+		Method:      o.Method,
+		Ordering:    o.Ordering,
+		Transform:   o.Transform,
+		Seed:        o.Seed,
+		Buckets:     o.Buckets,
+		Samples:     o.Samples,
+		HeavyFactor: o.HeavyFactor,
+		RecoverFrac: o.RecoverFrac,
+		DropTol:     o.DropTol,
+		MergeFactor: o.MergeFactor,
+		Workers:     o.Workers,
+		Retry:       o.Retry,
+		Prepared:    prepared,
+	}
+	if o.hooks != nil {
+		cfg.FactorOpts = o.hooks.factorOpts
+		cfg.WrapPrecond = o.hooks.wrapPrecond
+	}
+	return cfg
 }
 
 // pcgOptions assembles the iteration options for one solve attempt.
@@ -306,9 +317,10 @@ func Solve(sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 }
 
 // SolveContext is Solve under a context: a cancelled or expired ctx
-// aborts both the factorization (checked every few thousand pivots) and
-// the PCG iteration (checked every iteration) promptly, returning an
-// error wrapping context.Canceled or context.DeadlineExceeded.
+// aborts the setup pipeline (transform, ordering and factorization all
+// poll it) and the PCG iteration (checked every iteration) promptly,
+// returning an error wrapping context.Canceled or
+// context.DeadlineExceeded.
 func SolveContext(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
 	if len(b) != sys.N() {
 		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), sys.N())
@@ -319,22 +331,11 @@ func SolveContext(ctx context.Context, sys *graph.SDDM, b []float64, opt Options
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	switch opt.Method {
-	case MethodPowerRChol, MethodRChol, MethodLTRChol:
-		return solveRandomized(ctx, sys, b, opt)
-	case MethodFeGRASS, MethodFeGRASSIChol:
-		return solveFeGRASS(ctx, sys, b, opt)
-	case MethodAMG:
-		return solveAMG(ctx, sys, b, opt, nil)
-	case MethodPowerRush:
-		c := merge.Contract(sys, opt.MergeFactor)
-		return solveAMG(ctx, c.System, c.FoldRHS(b), opt, c)
-	case MethodDirect:
-		return solveDirect(ctx, sys, b, opt)
-	case MethodJacobi, MethodSSOR:
-		return solveStationary(ctx, sys, b, opt)
+	r, err := pipeline.NewRunner(sys, opt.pipelineConfig(false))
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("powerrchol: unknown method %v", opt.Method)
+	return solvePipeline(ctx, r, sys, b, opt)
 }
 
 // SolveCSC is Solve for a matrix already assembled in CSC form; the
@@ -367,366 +368,94 @@ func SolveSDD(a *sparse.CSC, b []float64, opt Options) (*Result, error) {
 	return res, err
 }
 
-// buildOrdering computes the requested permutation. tie, when non-nil,
-// seeds Alg. 4's tie-break shuffle (see order.Alg4); every other ordering
-// is fully deterministic and ignores it.
-func buildOrdering(sys *graph.SDDM, o Ordering, heavyFactor float64, tie *rng.Rand) []int {
-	switch o {
-	case OrderAlg4:
-		return order.Alg4(sys.G, heavyFactor, tie)
-	case OrderAMD:
-		return order.AMD(sys.G)
-	case OrderRCM:
-		return order.RCM(sys.G)
-	case OrderND:
-		return order.ND(sys.G)
-	case OrderNatural:
-		return nil
-	}
-	return nil
-}
-
-// rung is one step of the recovery ladder: a concrete factorization
-// configuration for a solve attempt.
-type rung struct {
-	method   Method
-	ordering Ordering
-	variant  core.Variant
-	direct   bool // complete Cholesky instead of a randomized factor
-	seed     uint64
-}
-
-// reseed derives the factorization seed for retry attempt k (k = 0 is
-// the caller's own seed). The golden-ratio stride gives splitmix64
-// independent streams.
-func reseed(seed uint64, k int) uint64 {
-	return seed + uint64(k)*0x9e3779b97f4a7c15
-}
-
-// orderTieSalt decorrelates the ordering tie-break stream from the
-// factorization's sampling stream when both derive from the same attempt
-// seed ("order" in ASCII).
-const orderTieSalt = 0x6f72646572
-
-// orderTieRng derives the Alg. 4 tie-break generator for ladder attempt
-// k. The first attempt is nil: it keeps the paper's deterministic
-// counting-sort ties, so a single-attempt solve is bit-identical to the
-// historical behaviour. Retry rungs shuffle ties on a seeded stream of
-// their own, so a retry does not replay the exact elimination order that
-// just failed — while staying fully replayable from Options.Seed.
-func orderTieRng(seed uint64, attempt int) *rng.Rand {
-	if attempt == 0 {
-		return nil
-	}
-	return rng.New(seed ^ orderTieSalt)
-}
-
-// baseRung resolves the requested randomized method to its paper
-// configuration (the exact logic Solve has always used).
-func baseRung(opt Options) rung {
-	rg := rung{method: opt.Method, ordering: opt.Ordering, variant: core.VariantLT, seed: opt.Seed}
-	switch opt.Method {
-	case MethodPowerRChol:
-		if rg.ordering == OrderDefault {
-			rg.ordering = OrderAlg4
+// solvePipeline is the one-shot iteration driver shared by every method:
+// walk the Runner's plan, run the iteration phase (or the exact direct
+// apply) on each setup, and translate the outcome into the historical
+// result/error shape — SolveError wrapping and Attempt trails for ladder
+// (randomized) plans, raw errors elsewhere, ctx errors always unwrapped.
+func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
+	for {
+		setup, err := r.Next(ctx)
+		if err != nil {
+			if ctxDone(err) || !r.Ladder() {
+				return nil, err
+			}
+			return nil, &SolveError{Attempts: r.Trail(), Last: err}
 		}
-	case MethodRChol:
-		rg.variant = core.VariantRChol
-		if rg.ordering == OrderDefault {
-			rg.ordering = OrderAMD
-		}
-	case MethodLTRChol:
-		if rg.ordering == OrderDefault {
-			rg.ordering = OrderAMD
-		}
-	}
-	return rg
-}
+		res := &Result{FactorNNZ: setup.FactorNNZ}
+		res.Timings.Reorder = setup.Reorder
+		res.Timings.Factorize = setup.Factorize
 
-// attemptPlan lays out the recovery ladder for the randomized pipeline,
-// truncated to Retry.MaxAttempts. Without Escalate every retry is a
-// reseed of the requested configuration. With Escalate the ladder is
-// reseed → RChol (skipped if that is already the requested method) →
-// direct Cholesky, the strongest and only deterministic rung.
-func attemptPlan(opt Options) []rung {
-	max := opt.Retry.MaxAttempts
-	if max < 1 {
-		max = 1
-	}
-	base := baseRung(opt)
-	plan := []rung{base}
-	if !opt.Retry.Escalate {
-		for k := 1; k < max; k++ {
-			r := base
-			r.seed = reseed(opt.Seed, k)
-			plan = append(plan, r)
+		rhs := b
+		if setup.Fold != nil {
+			rhs = setup.Fold(b)
 		}
-		return plan
-	}
-	r := base
-	r.seed = reseed(opt.Seed, 1)
-	plan = append(plan, r)
-	if base.variant != core.VariantRChol {
-		plan = append(plan, rung{
-			method: MethodRChol, ordering: OrderAMD,
-			variant: core.VariantRChol, seed: reseed(opt.Seed, 2),
-		})
-	}
-	plan = append(plan, rung{method: MethodDirect, ordering: OrderAMD, direct: true})
-	if len(plan) > max {
-		plan = plan[:max]
-	}
-	return plan
-}
 
-// recoverable reports whether a failed attempt should fall through to
-// the next ladder rung: factorization breakdown, an indefinite operator
-// or preconditioner (including NaN propagation), and detected
-// stagnation or divergence all qualify. Cancellation and plain
-// running-out-of-iterations do not.
-func recoverable(err error) bool {
-	return errors.Is(err, core.ErrBreakdown) ||
-		errors.Is(err, pcg.ErrIndefinite) ||
-		errors.Is(err, pcg.ErrStagnated) ||
-		errors.Is(err, pcg.ErrDiverged)
+		if setup.Exact {
+			// Complete factorization of the iterated system: one apply is
+			// the solve, no iteration phase.
+			t0 := time.Now()
+			x := make([]float64, setup.Sys.N())
+			setup.M.Apply(x, rhs)
+			if setup.Expand != nil {
+				x = setup.Expand(x)
+			}
+			res.Timings.Iterate = time.Since(t0)
+			res.X = x
+			res.Converged = true
+			res.Residual = relativeResidual(sys, x, b)
+			res.Attempts = r.Succeed(res.Iterations, res.Residual)
+			return res, nil
+		}
+
+		t0 := time.Now()
+		// Assembling the CSC once is faster than edge-list SpMV per
+		// iteration; with Workers > 1 the product runs row-parallel over a
+		// CSR copy.
+		a := setup.Sys.ToCSC()
+		mul := func(y, x []float64) { a.MulVec(y, x) }
+		if opt.Workers > 1 {
+			csr := a.ToCSR()
+			workers := opt.Workers
+			mul = func(y, x []float64) { csr.MulVecParallel(y, x, workers) }
+		}
+		pres, perr := pcg.SolveOp(setup.Sys.N(), mul, rhs, setup.M, opt.pcgOptions(ctx, opt.Workers))
+		res.Timings.Iterate = time.Since(t0)
+		if pres != nil {
+			fill(res, pres)
+			if setup.Expand != nil && pres.X != nil {
+				res.X = setup.Expand(pres.X)
+			}
+		}
+		if perr == nil && !res.Converged {
+			perr = notConverged(opt, res)
+		}
+		if perr == nil {
+			res.Attempts = r.Succeed(res.Iterations, res.Residual)
+			return res, nil
+		}
+		if ctxDone(perr) {
+			return res, perr
+		}
+		if r.FailSolve(perr, res.Iterations, res.Residual) {
+			continue
+		}
+		if !r.Ladder() {
+			return res, perr
+		}
+		if errors.Is(perr, ErrNotConverged) {
+			// The cap was reached without a detected failure: retrying the
+			// same slow-but-healthy solve would only double the bill.
+			// Return the partial result with its trail.
+			res.Attempts = r.Trail()
+			return res, perr
+		}
+		return res, &SolveError{Attempts: r.Trail(), Last: perr}
+	}
 }
 
 func ctxDone(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-func solveRandomized(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
-	plan := attemptPlan(opt)
-	var trail []Attempt
-	for i, rg := range plan {
-		res := &Result{}
-		t0 := time.Now()
-		perm := buildOrdering(sys, rg.ordering, opt.HeavyFactor, orderTieRng(rg.seed, i))
-		res.Timings.Reorder = time.Since(t0)
-
-		t0 = time.Now()
-		var f *core.Factor
-		var err error
-		if rg.direct {
-			f, err = chol.FactorizeContext(ctx, sys.ToCSC(), perm)
-		} else {
-			copt := core.Options{
-				Variant: rg.variant,
-				Buckets: opt.Buckets,
-				Seed:    rg.seed,
-				Samples: opt.Samples,
-				Ctx:     ctx,
-			}
-			if opt.hooks != nil && opt.hooks.factorOpts != nil {
-				copt = opt.hooks.factorOpts(i, copt)
-			}
-			f, err = core.Factorize(sys, perm, copt)
-		}
-		att := Attempt{Method: rg.method, Ordering: rg.ordering, Seed: rg.seed}
-		if err != nil {
-			if ctxDone(err) {
-				return nil, err
-			}
-			att.Err = err.Error()
-			trail = append(trail, att)
-			if i < len(plan)-1 && recoverable(err) {
-				continue
-			}
-			return nil, &SolveError{Attempts: trail, Last: err}
-		}
-		res.Timings.Factorize = time.Since(t0)
-		res.FactorNNZ = f.NNZ()
-		if opt.Workers > 1 {
-			f.Parallelize(opt.Workers)
-		}
-		var m pcg.Preconditioner = f
-		if opt.hooks != nil && opt.hooks.wrapPrecond != nil {
-			m = opt.hooks.wrapPrecond(i, m)
-		}
-
-		res, err = runPCG(ctx, sys, b, m, opt, res)
-		if res != nil {
-			att.Iterations = res.Iterations
-			att.Residual = res.Residual
-		}
-		if err == nil {
-			if len(trail) > 0 || opt.Retry.MaxAttempts > 1 {
-				res.Attempts = append(trail, att)
-			}
-			return res, nil
-		}
-		if ctxDone(err) {
-			return res, err
-		}
-		att.Err = err.Error()
-		trail = append(trail, att)
-		if i < len(plan)-1 && recoverable(err) {
-			continue
-		}
-		if errors.Is(err, ErrNotConverged) {
-			// The cap was reached without a detected failure: retrying the
-			// same slow-but-healthy solve would only double the bill.
-			// Return the partial result with its trail.
-			res.Attempts = trail
-			return res, err
-		}
-		return res, &SolveError{Attempts: trail, Last: err}
-	}
-	panic("powerrchol: empty attempt plan") // unreachable: plan always has ≥ 1 rung
-}
-
-func solveFeGRASS(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
-	frac := opt.RecoverFrac
-	if frac == 0 {
-		if opt.Method == MethodFeGRASSIChol {
-			frac = fegrass.IcholRecoverFrac
-		} else {
-			frac = fegrass.DefaultRecoverFrac
-		}
-	}
-	res := &Result{}
-	t0 := time.Now()
-	sp, err := fegrass.Sparsify(sys, frac)
-	if err != nil {
-		return nil, err
-	}
-	perm := order.AMD(sp.G)
-	res.Timings.Reorder = time.Since(t0) // sparsification + ordering
-
-	t0 = time.Now()
-	var f *core.Factor
-	if opt.Method == MethodFeGRASSIChol {
-		f, err = ichol.Factorize(sp.ToCSC(), perm, ichol.Options{DropTol: opt.DropTol})
-	} else {
-		f, err = chol.FactorizeContext(ctx, sp.ToCSC(), perm)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Factorize = time.Since(t0)
-	res.FactorNNZ = f.NNZ()
-	if opt.Workers > 1 {
-		f.Parallelize(opt.Workers)
-	}
-
-	return runPCG(ctx, sys, b, f, opt, res)
-}
-
-func solveAMG(ctx context.Context, sys *graph.SDDM, b []float64, opt Options, c *merge.Contraction) (*Result, error) {
-	res := &Result{}
-	t0 := time.Now()
-	a := sys.ToCSC()
-	p, err := amg.New(a, amg.Options{})
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Factorize = time.Since(t0)
-
-	t0 = time.Now()
-	pres, err := pcg.Solve(a, b, p, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Ctx: ctx})
-	res.Timings.Iterate = time.Since(t0)
-	if pres != nil {
-		fill(res, pres)
-		if c != nil && pres.X != nil {
-			res.X = c.Expand(pres.X)
-		}
-	}
-	if err != nil {
-		return res, err
-	}
-	if !res.Converged {
-		return res, notConverged(opt, res)
-	}
-	return res, nil
-}
-
-func solveDirect(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
-	res := &Result{}
-	t0 := time.Now()
-	perm := buildOrdering(sys, orderOrAMD(opt.Ordering), opt.HeavyFactor, nil)
-	res.Timings.Reorder = time.Since(t0)
-
-	t0 = time.Now()
-	f, err := chol.FactorizeContext(ctx, sys.ToCSC(), perm)
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Factorize = time.Since(t0)
-	res.FactorNNZ = f.NNZ()
-	if opt.Workers > 1 {
-		f.Parallelize(opt.Workers)
-	}
-
-	t0 = time.Now()
-	x := make([]float64, sys.N())
-	f.Apply(x, b)
-	res.Timings.Iterate = time.Since(t0)
-	res.X = x
-	res.Converged = true
-	res.Residual = relativeResidual(sys, x, b)
-	return res, nil
-}
-
-func orderOrAMD(o Ordering) Ordering {
-	if o == OrderDefault {
-		return OrderAMD
-	}
-	return o
-}
-
-func solveStationary(ctx context.Context, sys *graph.SDDM, b []float64, opt Options) (*Result, error) {
-	res := &Result{}
-	t0 := time.Now()
-	a := sys.ToCSC()
-	var j pcg.Preconditioner
-	var err error
-	if opt.Method == MethodSSOR {
-		j, err = pcg.NewSSOR(a, 0)
-	} else {
-		j, err = pcg.NewJacobi(a)
-	}
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Factorize = time.Since(t0)
-	t0 = time.Now()
-	pres, err := pcg.Solve(a, b, j, pcg.Options{Tol: opt.Tol, MaxIter: opt.MaxIter, Ctx: ctx})
-	res.Timings.Iterate = time.Since(t0)
-	if pres != nil {
-		fill(res, pres)
-	}
-	if err != nil {
-		return res, err
-	}
-	if !res.Converged {
-		return res, notConverged(opt, res)
-	}
-	return res, nil
-}
-
-func runPCG(ctx context.Context, sys *graph.SDDM, b []float64, m pcg.Preconditioner, opt Options, res *Result) (*Result, error) {
-	t0 := time.Now()
-	// Assembling the CSC once is faster than edge-list SpMV per iteration;
-	// with Workers > 1 the product runs row-parallel over a CSR copy.
-	a := sys.ToCSC()
-	mul := func(y, x []float64) { a.MulVec(y, x) }
-	if opt.Workers > 1 {
-		csr := a.ToCSR()
-		workers := opt.Workers
-		mul = func(y, x []float64) { csr.MulVecParallel(y, x, workers) }
-	}
-	pres, err := pcg.SolveOp(sys.N(), mul, b, m, opt.pcgOptions(ctx, opt.Workers))
-	res.Timings.Iterate = time.Since(t0)
-	if pres != nil {
-		fill(res, pres)
-	}
-	if err != nil {
-		return res, err
-	}
-	if !res.Converged {
-		return res, notConverged(opt, res)
-	}
-	return res, nil
 }
 
 // notConverged builds the typed iteration-cap error for a populated

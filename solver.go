@@ -7,14 +7,9 @@ import (
 	"sync"
 	"time"
 
-	"powerrchol/internal/amg"
-	"powerrchol/internal/chol"
-	"powerrchol/internal/core"
-	"powerrchol/internal/fegrass"
 	"powerrchol/internal/graph"
-	"powerrchol/internal/ichol"
-	"powerrchol/internal/order"
 	"powerrchol/internal/pcg"
+	"powerrchol/internal/pipeline"
 	"powerrchol/internal/sparse"
 )
 
@@ -42,6 +37,10 @@ type Solver struct {
 	sys *graph.SDDM
 	a   *sparse.CSC
 	m   pcg.Preconditioner
+	// exact marks a preconditioner that solves the system exactly
+	// (complete Cholesky with no sparsifying transform in the way):
+	// Solve applies it once instead of iterating.
+	exact bool
 
 	setupReorder   time.Duration
 	setupFactorize time.Duration
@@ -50,15 +49,18 @@ type Solver struct {
 }
 
 // NewSolver validates the system and builds the preconditioner for the
-// method selected in opt. MethodPowerRush is not supported here (its
-// contraction changes the unknowns; use Solve) and MethodDirect is
-// supported (Apply is an exact solve, so PCG converges in one iteration).
+// method selected in opt, running the same setup pipeline as the
+// one-shot Solve. Contraction-bearing plans — MethodPowerRush, or any
+// method under TransformMerge — are not supported here (the contraction
+// changes the unknowns; use Solve). MethodDirect is supported: its
+// complete factor makes every Solve a single exact apply.
 func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
 	return NewSolverContext(context.Background(), sys, opt)
 }
 
 // NewSolverContext is NewSolver under a context: a cancelled or expired
-// ctx aborts the randomized factorization mid-elimination.
+// ctx aborts the setup pipeline (transform, ordering and factorization
+// all poll it) promptly.
 func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solver, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -66,155 +68,28 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := &Solver{opt: opt, sys: sys}
-
-	var err error
-	switch opt.Method {
-	case MethodPowerRChol, MethodLTRChol, MethodRChol:
-		err = s.setupRandomized(ctx)
-	case MethodFeGRASS, MethodFeGRASSIChol:
-		err = s.setupFeGRASS(ctx)
-	case MethodDirect:
-		t0 := time.Now()
-		perm := buildOrdering(sys, orderOr(opt.Ordering, OrderAMD), opt.HeavyFactor, nil)
-		s.setupReorder = time.Since(t0)
-		t0 = time.Now()
-		var f *core.Factor
-		f, err = chol.FactorizeContext(ctx, sys.ToCSC(), perm)
-		if err == nil {
-			s.m = f
-			s.factorNNZ = f.NNZ()
-			s.setupFactorize = time.Since(t0)
-		}
-	case MethodAMG:
-		t0 := time.Now()
-		s.a = sys.ToCSC()
-		var p *amg.Preconditioner
-		p, err = amg.New(s.a, amg.Options{})
-		if err == nil {
-			s.m = p
-			s.setupFactorize = time.Since(t0)
-		}
-	case MethodJacobi:
-		t0 := time.Now()
-		s.a = sys.ToCSC()
-		s.m, err = pcg.NewJacobi(s.a)
-		s.setupFactorize = time.Since(t0)
-	case MethodSSOR:
-		t0 := time.Now()
-		s.a = sys.ToCSC()
-		s.m, err = pcg.NewSSOR(s.a, 0)
-		s.setupFactorize = time.Since(t0)
-	case MethodPowerRush:
-		err = fmt.Errorf("powerrchol: MethodPowerRush contracts the system; use Solve instead of NewSolver")
-	default:
-		err = fmt.Errorf("powerrchol: unknown method %v", opt.Method)
-	}
+	r, err := pipeline.NewRunner(sys, opt.pipelineConfig(true))
 	if err != nil {
 		return nil, err
 	}
-	if s.a == nil {
-		s.a = sys.ToCSC()
-	}
-	// Level-schedule the triangular solves so Apply can run them across
-	// goroutines. The parallel solves are bitwise identical to the serial
-	// ones, so this never changes results (see determinism tests).
-	if opt.Workers > 1 {
-		if f, ok := s.m.(*core.Factor); ok {
-			f.Parallelize(opt.Workers)
-		}
-	}
-	return s, nil
-}
-
-// setupRandomized builds the randomized factor, walking the recovery
-// ladder on breakdown: each rung is recorded in SetupAttempts.
-func (s *Solver) setupRandomized(ctx context.Context) error {
-	plan := attemptPlan(s.opt)
-	for i, rg := range plan {
-		t0 := time.Now()
-		perm := buildOrdering(s.sys, rg.ordering, s.opt.HeavyFactor, orderTieRng(rg.seed, i))
-		s.setupReorder = time.Since(t0)
-
-		t0 = time.Now()
-		var f *core.Factor
-		var err error
-		if rg.direct {
-			f, err = chol.FactorizeContext(ctx, s.sys.ToCSC(), perm)
-		} else {
-			copt := core.Options{
-				Variant: rg.variant,
-				Buckets: s.opt.Buckets,
-				Seed:    rg.seed,
-				Samples: s.opt.Samples,
-				Ctx:     ctx,
-			}
-			if s.opt.hooks != nil && s.opt.hooks.factorOpts != nil {
-				copt = s.opt.hooks.factorOpts(i, copt)
-			}
-			f, err = core.Factorize(s.sys, perm, copt)
-		}
-		att := Attempt{Method: rg.method, Ordering: rg.ordering, Seed: rg.seed}
-		if err != nil {
-			if ctxDone(err) {
-				return err
-			}
-			att.Err = err.Error()
-			s.setupAttempts = append(s.setupAttempts, att)
-			if i < len(plan)-1 && recoverable(err) {
-				continue
-			}
-			return &SolveError{Attempts: s.setupAttempts, Last: err}
-		}
-		s.setupFactorize = time.Since(t0)
-		s.m = f
-		s.factorNNZ = f.NNZ()
-		if len(s.setupAttempts) > 0 || s.opt.Retry.MaxAttempts > 1 {
-			s.setupAttempts = append(s.setupAttempts, att)
-		}
-		return nil
-	}
-	panic("powerrchol: empty attempt plan") // unreachable: plan always has ≥ 1 rung
-}
-
-func (s *Solver) setupFeGRASS(ctx context.Context) error {
-	opt := s.opt
-	frac := opt.RecoverFrac
-	if frac == 0 {
-		if opt.Method == MethodFeGRASSIChol {
-			frac = fegrass.IcholRecoverFrac
-		} else {
-			frac = fegrass.DefaultRecoverFrac
-		}
-	}
-	t0 := time.Now()
-	sp, err := fegrass.Sparsify(s.sys, frac)
+	setup, err := r.Next(ctx)
 	if err != nil {
-		return err
+		if ctxDone(err) || !r.Ladder() {
+			return nil, err
+		}
+		return nil, &SolveError{Attempts: r.Trail(), Last: err}
 	}
-	sperm := order.AMD(sp.G)
-	s.setupReorder = time.Since(t0)
-	t0 = time.Now()
-	var f *core.Factor
-	if opt.Method == MethodFeGRASSIChol {
-		f, err = ichol.Factorize(sp.ToCSC(), sperm, ichol.Options{DropTol: opt.DropTol})
-	} else {
-		f, err = chol.FactorizeContext(ctx, sp.ToCSC(), sperm)
-	}
-	if err != nil {
-		return err
-	}
-	s.m = f
-	s.factorNNZ = f.NNZ()
-	s.setupFactorize = time.Since(t0)
-	return nil
-}
-
-func orderOr(o, def Ordering) Ordering {
-	if o == OrderDefault {
-		return def
-	}
-	return o
+	return &Solver{
+		opt:            opt,
+		sys:            sys,
+		a:              setup.Sys.ToCSC(),
+		m:              setup.M,
+		exact:          setup.Exact,
+		setupReorder:   setup.Reorder,
+		setupFactorize: setup.Factorize,
+		factorNNZ:      setup.FactorNNZ,
+		setupAttempts:  r.Succeed(0, 0),
+	}, nil
 }
 
 // SetupTimings reports the one-time reorder and factorization cost.
@@ -263,6 +138,23 @@ func (s *Solver) solveContext(ctx context.Context, b, x0 []float64) (*Result, er
 		return nil, fmt.Errorf("powerrchol: rhs has length %d, want %d", len(b), s.sys.N())
 	}
 	res := &Result{FactorNNZ: s.factorNNZ}
+	if s.exact {
+		// The factor solves the system exactly: one apply, no iteration
+		// (and no use for a warm start).
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
+		t0 := time.Now()
+		x := make([]float64, s.sys.N())
+		s.m.Apply(x, b)
+		res.Timings.Iterate = time.Since(t0)
+		res.X = x
+		res.Converged = true
+		res.Residual = relativeResidual(s.sys, x, b)
+		return res, nil
+	}
 	popt := s.opt.pcgOptions(ctx, 0)
 	t0 := time.Now()
 	var pres *pcg.Result
