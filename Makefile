@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet lint lint-list lint-sarif race fuzz bench cover tables examples clean
+.PHONY: all check build test vet lint lint-list lint-sarif race fuzz bench bench-json bench-json-smoke cover tables examples clean
 
 all: check
 
@@ -66,12 +66,31 @@ race:
 FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMatrixMarket$$' -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzIndexConvert$$' -fuzztime=$(FUZZTIME) ./internal/sparse
 	$(GO) test -run='^$$' -fuzz='^FuzzSplitCSC$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzReadFactor$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDirective$$' -fuzztime=$(FUZZTIME) ./internal/lint/directive
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json records one machine-readable point of the performance
+# trajectory: every registered method × case × index width, with
+# per-stage timings, allocation totals, peak heap and process RSS
+# (cmd/pgbench). BENCH_POINT numbers the point (BENCH_<n>.json, one per
+# growth step, committed); BENCH_SCALE trades fidelity for wall time —
+# 0.35 runs the full grid in well under a minute on a laptop.
+BENCH_POINT ?= 6
+BENCH_SCALE ?= 0.35
+bench-json:
+	$(GO) run ./cmd/pgbench -point $(BENCH_POINT) -scale $(BENCH_SCALE) -o BENCH_$(BENCH_POINT).json
+
+# bench-json-smoke is the CI gate: one case, two methods, both index
+# widths, validated by piping through the JSON decoder of the golden
+# schema test (go test ./cmd/pgbench) beforehand.
+bench-json-smoke:
+	$(GO) run ./cmd/pgbench -point 0 -scale 0.1 -cases ibmpg3 -methods powerrchol,direct -o /tmp/pgbench-smoke.json
+	$(GO) test ./cmd/pgbench
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerrchol"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is the fixed configuration the schema golden pins: one
+// tiny case, the headline method plus the direct baseline, both index
+// widths. Everything it produces outside the deterministic subset is
+// zeroed before comparison.
+func goldenConfig() benchConfig {
+	return benchConfig{
+		Scale:      0.1,
+		Tol:        1e-6,
+		MaxIter:    500,
+		Seed:       2024,
+		Cases:      []string{"ibmpg3"},
+		Methods:    []string{"powerrchol", "direct"},
+		IndexModes: []string{"wide", "compact"},
+	}
+}
+
+// TestReportSchemaGolden pins the deterministic subset of the JSON
+// report — schema version, config encoding, case inventory and the
+// method × case × index-mode result grid — to a golden file. Timings
+// and memory counters are volatile by nature and excluded; renaming or
+// removing any pinned field is a schema break and must bump benchSchema.
+func TestReportSchemaGolden(t *testing.T) {
+	rep, err := runBench(goldenConfig(), io.Discard)
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeReport(&buf, deterministicSubset(rep)); err != nil {
+		t.Fatalf("writeReport: %v", err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "schema.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report schema drifted from golden (run `go test ./cmd/pgbench -update` after a deliberate change)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportFieldsPopulated checks that the volatile fields the golden
+// cannot pin are actually measured: a solve takes time, allocates, and
+// reports its factor's index footprint halved under compact storage.
+func TestReportFieldsPopulated(t *testing.T) {
+	rep, err := runBench(goldenConfig(), io.Discard)
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("got %d results, want 4 (2 methods × 2 index modes)", len(rep.Results))
+	}
+	byKey := map[string]runResult{}
+	for _, rr := range rep.Results {
+		if rr.Error != "" {
+			t.Errorf("%s/%s/%s failed: %s", rr.Case, rr.Method, rr.IndexMode, rr.Error)
+		}
+		if !rr.Converged {
+			t.Errorf("%s/%s/%s did not converge", rr.Case, rr.Method, rr.IndexMode)
+		}
+		if rr.TotalNS <= 0 || rr.TotalNS != rr.ReorderNS+rr.FactorizeNS+rr.IterateNS {
+			t.Errorf("%s/%s/%s: total_ns %d does not sum stages %d+%d+%d",
+				rr.Case, rr.Method, rr.IndexMode, rr.TotalNS, rr.ReorderNS, rr.FactorizeNS, rr.IterateNS)
+		}
+		if rr.Allocs == 0 || rr.AllocBytes == 0 || rr.HeapPeakBytes == 0 {
+			t.Errorf("%s/%s/%s: memory counters not populated: allocs=%d alloc_bytes=%d heap_peak=%d",
+				rr.Case, rr.Method, rr.IndexMode, rr.Allocs, rr.AllocBytes, rr.HeapPeakBytes)
+		}
+		if rr.FactorNNZ == 0 || rr.FactorIndexBytes == 0 {
+			t.Errorf("%s/%s/%s: factor fields not populated: nnz=%d index_bytes=%d",
+				rr.Case, rr.Method, rr.IndexMode, rr.FactorNNZ, rr.FactorIndexBytes)
+		}
+		byKey[rr.Method+"/"+rr.IndexMode] = rr
+	}
+	for _, m := range []string{"powerrchol", "direct"} {
+		wide, compact := byKey[m+"/wide"], byKey[m+"/compact"]
+		// Identical factor, half the index bytes: nnz equal and
+		// wide bytes = 2 × compact bytes exactly (both layouts store
+		// nnz row indices + n+1 column pointers).
+		if wide.FactorNNZ != compact.FactorNNZ {
+			t.Errorf("%s: factor nnz differs across index modes: wide %d, compact %d",
+				m, wide.FactorNNZ, compact.FactorNNZ)
+		}
+		if wide.FactorIndexBytes != 2*compact.FactorIndexBytes {
+			t.Errorf("%s: index bytes not halved: wide %d, compact %d",
+				m, wide.FactorIndexBytes, compact.FactorIndexBytes)
+		}
+		// The compact solve performs the identical float ops: same
+		// iteration count and residual to the last bit.
+		if wide.Iterations != compact.Iterations || wide.Residual != compact.Residual { //pglint:float-exact bitwise-identity contract across index widths
+			t.Errorf("%s: solve differs across index modes: wide (%d iters, %g), compact (%d iters, %g)",
+				m, wide.Iterations, wide.Residual, compact.Iterations, compact.Residual)
+		}
+	}
+	if rep.Env.GoVersion == "" || rep.Env.NumCPU == 0 {
+		t.Errorf("env not populated: %+v", rep.Env)
+	}
+}
+
+// TestRunWritesFile exercises the CLI entry end to end: flag parsing,
+// file output, and the canonical encoding (indented JSON, trailing
+// newline) that keeps committed BENCH_<n>.json points diffable.
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-point", "6", "-o", path, "-scale", "0.1",
+		"-cases", "ibmpg3", "-methods", "powerrchol", "-index", "compact",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading output: %v", err)
+	}
+	if !bytes.HasSuffix(data, []byte("}\n")) {
+		t.Errorf("output does not end in }\\n")
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, benchSchema)
+	}
+	if rep.Point != 6 {
+		t.Errorf("point = %d, want 6", rep.Point)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].IndexMode != "compact" {
+		t.Errorf("results = %+v, want one compact powerrchol entry", rep.Results)
+	}
+	if rep.Created == "" {
+		t.Errorf("created timestamp missing")
+	}
+}
+
+// TestSelectorErrors pins the CLI's rejection of unknown names, so a
+// typo fails loudly instead of silently benchmarking nothing.
+func TestSelectorErrors(t *testing.T) {
+	if _, err := selectCases([]string{"nosuchcase"}); err == nil {
+		t.Errorf("selectCases accepted an unknown case")
+	}
+	if _, err := selectMethods([]string{"nosuchmethod"}); err == nil {
+		t.Errorf("selectMethods accepted an unknown method")
+	}
+	if _, err := parseIndexModes([]string{"int16"}); err == nil {
+		t.Errorf("parseIndexModes accepted an unknown mode")
+	}
+	modes, err := parseIndexModes([]string{"wide", "compact", "auto"})
+	if err != nil || len(modes) != 3 {
+		t.Fatalf("parseIndexModes(wide,compact,auto) = %v, %v", modes, err)
+	}
+	if modes[0] != powerrchol.IndexWide || modes[1] != powerrchol.IndexCompact || modes[2] != powerrchol.IndexAuto {
+		t.Errorf("parseIndexModes order wrong: %v", modes)
+	}
+	if got := splitList(" a, b ,,c "); strings.Join(got, "|") != "a|b|c" {
+		t.Errorf("splitList = %v", got)
+	}
+}

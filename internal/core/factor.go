@@ -12,26 +12,107 @@ import (
 // the remaining row indices are unsorted, which the triangular solves in
 // package sparse permit.
 //
+// L lives in exactly one of two storages: wide (L, int indices) or
+// compact (L32, int32 indices) — the paper-scale memory diet, since at
+// 1e7+ nodes the index arrays rival the float64 values. Every compact
+// kernel performs the identical float operations in the identical
+// order, so the two storages solve to the same bits; the width is an
+// invisible implementation detail to callers of Apply.
+//
 // Apply is safe for concurrent callers: scratch vectors are drawn from a
-// pool per call, and all other state (L, Perm, the optional level
+// pool per call, and all other state (L/L32, Perm, the optional level
 // schedule) is read-only after construction. All randomness is confined
 // to Factorize; no RNG state survives into the solve phase.
 type Factor struct {
 	N    int
-	L    *sparse.CSC
-	Perm []int // Perm[newIdx] = oldIdx; nil means identity
+	L    *sparse.CSC   // wide index storage; nil when L32 is set
+	L32  *sparse.CSC32 // compact index storage; nil when L is set
+	Perm []int         // Perm[newIdx] = oldIdx; nil means identity
 
-	// tri, when non-nil, is a level-scheduled parallel triangular solver
-	// built by Parallelize. It is set once before the factor is shared
-	// and never mutated afterwards.
+	// tri/tri32 (matching the active storage), when non-nil, is a
+	// level-scheduled parallel triangular solver built by Parallelize.
+	// It is set once before the factor is shared and never mutated
+	// afterwards.
 	tri        *sparse.TriSolver
+	tri32      *sparse.TriSolver32
 	triWorkers int
 
 	pool sync.Pool // of []float64, length N
 }
 
 // NNZ returns the number of stored entries of L (the paper's |L|).
-func (f *Factor) NNZ() int { return f.L.NNZ() }
+func (f *Factor) NNZ() int {
+	if f.L32 != nil {
+		return f.L32.NNZ()
+	}
+	return f.L.NNZ()
+}
+
+// IsCompact reports whether the factor uses compact (int32) index
+// storage.
+func (f *Factor) IsCompact() bool { return f.L32 != nil }
+
+// IndexBytes returns the bytes spent on index storage (column pointers
+// plus row indices) — the quantity compact storage halves. Diagnostic.
+func (f *Factor) IndexBytes() int {
+	if f.L32 != nil {
+		return f.L32.IndexBytes()
+	}
+	return f.L.IndexBytes()
+}
+
+// colLen returns the entry count of column k regardless of storage.
+func (f *Factor) colLen(k int) int {
+	if f.L32 != nil {
+		return int(f.L32.ColPtr[k+1] - f.L32.ColPtr[k])
+	}
+	return f.L.ColPtr[k+1] - f.L.ColPtr[k]
+}
+
+// wideL returns the factor matrix in wide storage, widening a copy of
+// the index arrays if needed. Diagnostic and test paths only; the solve
+// path never widens.
+func (f *Factor) wideL() *sparse.CSC {
+	if f.L != nil {
+		return f.L
+	}
+	return f.L32.Wide()
+}
+
+// CompactIndices converts the factor to compact index storage in place,
+// failing with an error wrapping sparse.ErrIndexOverflow when it does
+// not fit. The value array is shared, not copied, and an existing level
+// schedule is rebuilt for the new storage (same schedule, same bits).
+// Already-compact factors return nil unchanged. This is the conversion
+// route for factorizations that build wide (e.g. exact Cholesky).
+func (f *Factor) CompactIndices() error {
+	if f.L32 != nil {
+		return nil
+	}
+	l32, err := sparse.CompactCSC(f.L)
+	if err != nil {
+		return err
+	}
+	f.L32, f.L = l32, nil
+	if f.tri != nil {
+		f.tri = nil
+		f.tri32 = sparse.NewTriSolver32(l32)
+	}
+	return nil
+}
+
+// WidenIndices converts the factor back to wide index storage in place.
+// It cannot fail; already-wide factors are unchanged.
+func (f *Factor) WidenIndices() {
+	if f.L != nil {
+		return
+	}
+	f.L, f.L32 = f.L32.Wide(), nil
+	if f.tri32 != nil {
+		f.tri32 = nil
+		f.tri = sparse.NewTriSolver(f.L)
+	}
+}
 
 // Parallelize precomputes a level schedule for L so that Apply runs its
 // two triangular solves across `workers` goroutines. The parallel solves
@@ -41,10 +122,14 @@ func (f *Factor) NNZ() int { return f.L.NNZ() }
 // the parallel path again.
 func (f *Factor) Parallelize(workers int) {
 	if workers <= 1 {
-		f.tri, f.triWorkers = nil, 0
+		f.tri, f.tri32, f.triWorkers = nil, nil, 0
 		return
 	}
-	if f.tri == nil {
+	if f.L32 != nil {
+		if f.tri32 == nil {
+			f.tri32 = sparse.NewTriSolver32(f.L32)
+		}
+	} else if f.tri == nil {
 		f.tri = sparse.NewTriSolver(f.L)
 	}
 	f.triWorkers = workers
@@ -69,10 +154,17 @@ func (f *Factor) Apply(z, r []float64) {
 	} else {
 		sparse.PermuteVecInto(w, r, f.Perm)
 	}
-	if f.tri != nil && f.triWorkers > 1 {
+	switch {
+	case f.tri32 != nil && f.triWorkers > 1:
+		f.tri32.LowerSolve(w, f.triWorkers)
+		f.tri32.LowerTransposeSolve(w, f.triWorkers)
+	case f.tri != nil && f.triWorkers > 1:
 		f.tri.LowerSolve(w, f.triWorkers)
 		f.tri.LowerTransposeSolve(w, f.triWorkers)
-	} else {
+	case f.L32 != nil:
+		sparse.LowerSolve32(f.L32, w)
+		sparse.LowerTransposeSolve32(f.L32, w)
+	default:
 		sparse.LowerSolve(f.L, w)
 		sparse.LowerTransposeSolve(f.L, w)
 	}
@@ -87,7 +179,7 @@ func (f *Factor) Apply(z, r []float64) {
 // ProductCSC assembles L·Lᵀ (in the permuted ordering) as a CSC matrix.
 // Quadratic-ish in fill; intended for tests on small matrices.
 func (f *Factor) ProductCSC() *sparse.CSC {
-	l := f.L
+	l := f.wideL()
 	coo := sparse.NewCOO(f.N, f.N, 4*l.NNZ())
 	for k := 0; k < f.N; k++ {
 		for p := l.ColPtr[k]; p < l.ColPtr[k+1]; p++ {

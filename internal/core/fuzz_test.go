@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"math"
 	"testing"
 
 	"powerrchol/internal/sparse"
@@ -53,8 +54,24 @@ func FuzzReadFactor(f *testing.F) {
 		if fac.N < 0 || fac.L == nil || len(fac.L.ColPtr) != fac.N+1 {
 			t.Fatalf("accepted factor is malformed: n=%d", fac.N)
 		}
-		if err := fac.L.Check(); err != nil {
-			t.Fatalf("accepted factor fails Check: %v", err)
+		// The factor's structural contract (factor.go) is weaker than
+		// CSC.Check: diagonal-first columns with the remaining entries
+		// strictly below the diagonal but unsorted, finite values.
+		l := fac.L
+		for k := 0; k < fac.N; k++ {
+			if l.ColPtr[k] >= l.ColPtr[k+1] || l.RowIdx[l.ColPtr[k]] != k {
+				t.Fatalf("accepted factor: column %d does not lead with its diagonal", k)
+			}
+			for p := l.ColPtr[k] + 1; p < l.ColPtr[k+1]; p++ {
+				if l.RowIdx[p] <= k || l.RowIdx[p] >= fac.N {
+					t.Fatalf("accepted factor: row %d in column %d outside the strict lower triangle", l.RowIdx[p], k)
+				}
+			}
+		}
+		for _, v := range l.Val {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted factor carries non-finite value %g", v)
+			}
 		}
 		var buf bytes.Buffer
 		if _, err := fac.WriteTo(&buf); err != nil {

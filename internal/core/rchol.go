@@ -83,6 +83,14 @@ type Options struct {
 	// validated. It exists solely for deterministic fault injection in
 	// tests (see internal/faultinject); production code leaves it nil.
 	PivotPerturb func(step int, pivot float64) float64
+	// CompactIndex selects the factor's index width. IndexWide (the
+	// zero value) keeps the historical 64-bit storage; IndexCompact
+	// builds int32 storage directly — never materializing wide index
+	// arrays — and fails past the 2^31 boundary; IndexAuto builds
+	// compact and widens mid-build if the factor outgrows int32.
+	// Index width never changes the floating-point work, so factors of
+	// both widths solve to identical bits.
+	CompactIndex sparse.IndexMode
 }
 
 // cancelCheckStride is how many eliminations run between context polls:
@@ -174,10 +182,29 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 		}
 	}
 
-	// Factor storage, appended column by column.
+	// Factor storage, appended column by column. Compact mode appends
+	// int32 row indices directly — the wide arrays are never built — and
+	// colPtr stays wide until the end (n+1 ints, negligible next to the
+	// nnz-sized RowIdx) so a mid-build widen under IndexAuto is cheap.
+	compact := false
+	switch opt.CompactIndex {
+	case sparse.IndexCompact:
+		if n > sparse.MaxIndex32 {
+			return nil, fmt.Errorf("%w: n=%d", sparse.ErrIndexOverflow, n)
+		}
+		compact = true
+	case sparse.IndexAuto:
+		compact = n <= sparse.MaxIndex32
+	}
 	m := s.G.M()
 	colPtr := make([]int, n+1)
-	rowIdx := make([]int, 0, 2*m+n)
+	var rowIdx []int
+	var rowIdx32 []int32
+	if compact {
+		rowIdx32 = make([]int32, 0, 2*m+n)
+	} else {
+		rowIdx = make([]int, 0, 2*m+n)
+	}
 	val := make([]float64, 0, 2*m+n)
 
 	r := rng.New(opt.Seed)
@@ -235,16 +262,41 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 		}
 
 		// Emit column k of L: diag first, then -w/sqrt(dk) per neighbor.
+		// The compact and wide branches append the same values in the
+		// same order; only the index element type differs.
 		sq := math.Sqrt(dk)
-		rowIdx = append(rowIdx, k)
-		val = append(val, sq)
-		for i, v := range nbr {
-			//pglint:hotalloc rowIdx accumulates the factor itself; growth is amortized doubling over the whole factorization
-			rowIdx = append(rowIdx, int(v))
-			//pglint:hotalloc same factor-output accumulation as rowIdx above
-			val = append(val, -wts[i]/sq)
+		if compact && len(val)+deg+1 > sparse.MaxIndex32 {
+			if opt.CompactIndex == sparse.IndexCompact {
+				return nil, fmt.Errorf("%w: factor exceeds %d entries at elimination step %d",
+					sparse.ErrIndexOverflow, int(sparse.MaxIndex32), k)
+			}
+			// IndexAuto: widen mid-build and carry on. Values are
+			// untouched, so the result stays bit-identical to a
+			// wide-from-the-start factorization.
+			rowIdx = sparse.WidenIndexSlice(nil, rowIdx32)
+			rowIdx32 = nil
+			compact = false
 		}
-		colPtr[k+1] = len(rowIdx)
+		if compact {
+			rowIdx32 = append(rowIdx32, int32(k))
+			val = append(val, sq)
+			for i, v := range nbr {
+				//pglint:hotalloc rowIdx32 accumulates the factor itself; growth is amortized doubling over the whole factorization
+				rowIdx32 = append(rowIdx32, v)
+				//pglint:hotalloc same factor-output accumulation as rowIdx32 above
+				val = append(val, -wts[i]/sq)
+			}
+		} else {
+			rowIdx = append(rowIdx, k)
+			val = append(val, sq)
+			for i, v := range nbr {
+				//pglint:hotalloc rowIdx accumulates the factor itself; growth is amortized doubling over the whole factorization
+				rowIdx = append(rowIdx, int(v))
+				//pglint:hotalloc same factor-output accumulation as rowIdx above
+				val = append(val, -wts[i]/sq)
+			}
+		}
+		colPtr[k+1] = len(val)
 
 		if deg == 0 {
 			continue
@@ -329,9 +381,17 @@ func Factorize(s *graph.SDDM, perm []int, opt Options) (*Factor, error) {
 		}
 	}
 
-	f := &Factor{
-		N: n,
-		L: &sparse.CSC{Rows: n, Cols: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val},
+	f := &Factor{N: n}
+	if compact {
+		cp, err := sparse.CompactIndexSlice(nil, colPtr)
+		if err != nil {
+			// Unreachable: colPtr values are bounded by len(val), which
+			// the overflow check above keeps within int32 range.
+			return nil, err
+		}
+		f.L32 = &sparse.CSC32{Rows: n, Cols: n, ColPtr: cp, RowIdx: rowIdx32, Val: val}
+	} else {
+		f.L = &sparse.CSC{Rows: n, Cols: n, ColPtr: colPtr, RowIdx: rowIdx, Val: val}
 	}
 	if perm != nil {
 		f.Perm = perm

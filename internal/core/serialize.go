@@ -34,7 +34,7 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 		return written, err
 	}
 	written += int64(len(factorMagic))
-	nnz := f.L.NNZ()
+	nnz := f.NNZ()
 	if err := put(uint64(f.N)); err != nil {
 		return written, err
 	}
@@ -48,23 +48,44 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	if err := put(hasPerm); err != nil {
 		return written, err
 	}
+	// Indices are written as uint64 regardless of the in-memory width,
+	// so compact and wide factors serialize to identical bytes — the
+	// on-disk format (and its goldens) is index-width independent.
 	buf := make([]uint64, 0, f.N+1)
-	for _, v := range f.L.ColPtr {
-		//pglint:hotalloc serialization path, runs once per factor; capacity reserved for ColPtr above
-		buf = append(buf, uint64(v))
+	var vals []float64
+	if f.L32 != nil {
+		for _, v := range f.L32.ColPtr {
+			//pglint:hotalloc serialization path, runs once per factor; capacity reserved for ColPtr above
+			buf = append(buf, uint64(v))
+		}
+		if err := put(buf); err != nil {
+			return written, err
+		}
+		buf = buf[:0]
+		for _, v := range f.L32.RowIdx {
+			//pglint:hotalloc serialization path, runs once per factor; growth to nnz is amortized doubling
+			buf = append(buf, uint64(v))
+		}
+		vals = f.L32.Val
+	} else {
+		for _, v := range f.L.ColPtr {
+			//pglint:hotalloc serialization path, runs once per factor; capacity reserved for ColPtr above
+			buf = append(buf, uint64(v))
+		}
+		if err := put(buf); err != nil {
+			return written, err
+		}
+		buf = buf[:0]
+		for _, v := range f.L.RowIdx {
+			//pglint:hotalloc serialization path, runs once per factor; growth to nnz is amortized doubling
+			buf = append(buf, uint64(v))
+		}
+		vals = f.L.Val
 	}
 	if err := put(buf); err != nil {
 		return written, err
 	}
-	buf = buf[:0]
-	for _, v := range f.L.RowIdx {
-		//pglint:hotalloc serialization path, runs once per factor; growth to nnz is amortized doubling
-		buf = append(buf, uint64(v))
-	}
-	if err := put(buf); err != nil {
-		return written, err
-	}
-	if err := put(f.L.Val); err != nil {
+	if err := put(vals); err != nil {
 		return written, err
 	}
 	if f.Perm != nil {
@@ -176,10 +197,20 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 			return nil, fmt.Errorf("core: non-finite factor value")
 		}
 	}
-	// diag-first layout check
+	// Factor layout invariants (factor.go): each column stores its
+	// diagonal first, and every remaining entry lies strictly below it —
+	// unsorted beyond that, which the triangular kernels permit. A forged
+	// file with an on- or above-diagonal entry after the leading diagonal
+	// would silently corrupt the solve's substitution order, so reject it
+	// here rather than trusting Check-less callers.
 	for k := 0; k < n; k++ {
 		if colPtr[k] >= colPtr[k+1] || rowIdx[colPtr[k]] != k {
 			return nil, fmt.Errorf("core: column %d does not start with its diagonal", k)
+		}
+		for p := colPtr[k] + 1; p < colPtr[k+1]; p++ {
+			if rowIdx[p] <= k {
+				return nil, fmt.Errorf("core: row index %d in column %d is not strictly below the diagonal", rowIdx[p], k)
+			}
 		}
 	}
 

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"runtime"
+	"testing"
+
+	"powerrchol/internal/rng"
+)
+
+// Allocation regression tests for the direct SDDM assembly. ToCSC's
+// "never two copies" claim — the counting pass sizes the CSC arrays
+// exactly, so the builder never holds a COO triplet copy alongside the
+// assembled matrix — is guarded here in its deterministic form: total
+// bytes allocated per build, not sampled heap peaks. Reintroducing a
+// COO staging copy costs at least 24 bytes per raw entry on top of the
+// output, which blows the budget below by several multiples; GC timing
+// never enters the measurement because TotalAlloc only counts
+// cumulative allocation.
+
+func allocTestSystem(t *testing.T, n int) *SDDM {
+	t.Helper()
+	r := rng.New(7)
+	g := New(n, 4*n)
+	for k := 0; k < 4*n; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+r.Float64())
+		}
+	}
+	s, err := NewSDDM(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestToCSCAllocationBudget bounds the bytes one assembly allocates:
+// the output arrays themselves (16·nnz + 8·(n+1)) plus the O(n)
+// working set — edge counts, builder cursor, weighted degrees, and the
+// merged column-pointer array — with room for allocator size-class
+// rounding. A COO round trip (24 bytes per raw entry staged before the
+// output exists) would more than double the total.
+func TestToCSCAllocationBudget(t *testing.T) {
+	s := allocTestSystem(t, 20000)
+	a := s.ToCSC() // warm-up build, also supplies nnz
+	ideal := 16*a.NNZ() + 8*(s.N()+1)
+	budget := uint64(ideal + 40*s.N() + 1<<16)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_ = s.ToCSC()
+	runtime.ReadMemStats(&after)
+	total := after.TotalAlloc - before.TotalAlloc
+	if total > budget {
+		t.Errorf("ToCSC allocated %d bytes, budget %d (output arrays %d): staging copy reintroduced?",
+			total, budget, ideal)
+	}
+	t.Logf("ToCSC: %d bytes for %d output bytes (%.2fx)", total, ideal, float64(total)/float64(ideal))
+}
+
+// TestToCSCAllocationCount pins the allocation count to a small
+// constant: the five assembly arrays plus a handful of fixed headers.
+// A per-edge or per-column allocation in the hot path (like the
+// per-column sort.Interface boxing compressColumns once had) turns
+// this into O(n) and fails immediately.
+func TestToCSCAllocationCount(t *testing.T) {
+	s := allocTestSystem(t, 5000)
+	allocs := testing.AllocsPerRun(5, func() { _ = s.ToCSC() })
+	if allocs > 16 {
+		t.Errorf("ToCSC makes %.0f allocations per build, want a small constant (<= 16)", allocs)
+	}
+}

@@ -39,19 +39,45 @@ func NewSDDM(g *Graph, d []float64) (*SDDM, error) {
 	return &SDDM{G: g, D: d}, nil
 }
 
-// ToCSC assembles A = L_G + diag(D) with both triangles stored.
+// ToCSC assembles A = L_G + diag(D) with both triangles stored. The
+// assembly is direct: one counting pass over the edges sizes the CSC
+// arrays exactly, so building never holds a COO triplet copy and the
+// assembled matrix simultaneously (the result stays bit-identical to
+// the historical COO route — same entry placement order, same column
+// sort/merge tail).
 func (s *SDDM) ToCSC() *sparse.CSC {
+	a, err := s.assemble()
+	if err != nil {
+		// The counting pass and the placement pass iterate the same
+		// edge list; a mismatch is impossible for an in-variant SDDM.
+		panic("graph: SDDM assembly mismatch: " + err.Error())
+	}
+	return a
+}
+
+func (s *SDDM) assemble() (*sparse.CSC, error) {
 	g := s.G
-	coo := sparse.NewCOO(g.N, g.N, 4*g.M()+g.N)
-	diag := g.WeightedDegrees()
-	for i, d := range diag {
-		coo.Add(i, i, d+s.D[i])
+	counts := make([]int, g.N)
+	for i := range counts {
+		counts[i] = 1 // diagonal
 	}
 	for _, e := range g.Edges {
-		coo.Add(e.U, e.V, -e.W)
-		coo.Add(e.V, e.U, -e.W)
+		counts[e.U]++
+		counts[e.V]++
 	}
-	return coo.ToCSC()
+	b, err := sparse.NewCSCBuilder(g.N, g.N, counts)
+	if err != nil {
+		return nil, err
+	}
+	diag := g.WeightedDegrees()
+	for i, d := range diag {
+		b.Set(i, i, d+s.D[i])
+	}
+	for _, e := range g.Edges {
+		b.Set(e.U, e.V, -e.W)
+		b.Set(e.V, e.U, -e.W)
+	}
+	return b.Finish()
 }
 
 // SplitCSC decomposes a CSC matrix into SDDM form. It validates that A is

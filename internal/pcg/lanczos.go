@@ -16,7 +16,14 @@ import (
 // The Ritz values converge to the extreme eigenvalues from the inside, so
 // the returned estimate is a (usually tight) lower bound on κ.
 func ConditionEstimate(a *sparse.CSC, m Preconditioner, iters int, seed uint64) (float64, error) {
-	n := a.Rows
+	mul := func(y, x []float64) { a.MulVec(y, x) }
+	return ConditionEstimateOp(a.Rows, mul, m, iters, seed)
+}
+
+// ConditionEstimateOp is ConditionEstimate for an implicit operator
+// y = A·x, for callers that keep the system in a non-CSC representation
+// (e.g. compact-index storage).
+func ConditionEstimateOp(n int, mul func(y, x []float64), m Preconditioner, iters int, seed uint64) (float64, error) {
 	if n == 0 {
 		return 1, nil
 	}
@@ -53,7 +60,7 @@ func ConditionEstimate(a *sparse.CSC, m Preconditioner, iters int, seed uint64) 
 	rz0 := rz
 	var alphas, betas []float64
 	for k := 0; k < iters; k++ {
-		a.MulVec(ap, p)
+		mul(ap, p)
 		pap := sparse.Dot(p, ap)
 		if math.IsNaN(pap) || math.IsInf(pap, 0) {
 			return 0, fmt.Errorf("pcg: non-finite curvature p'Ap=%g in ConditionEstimate", pap)

@@ -127,6 +127,12 @@ func SolveOp(n int, mul func(y, x []float64), b []float64, m Preconditioner, opt
 	return solveOp(n, mul, b, nil, m, opt)
 }
 
+// SolveFromOp is SolveFrom for an implicit operator y = A·x: a warm
+// start without requiring the system in CSC form.
+func SolveFromOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner, opt Options) (*Result, error) {
+	return solveOp(n, mul, b, x0, m, opt)
+}
+
 func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner, opt Options) (*Result, error) {
 	if opt.Tol == 0 {
 		opt.Tol = 1e-6

@@ -28,6 +28,7 @@ import (
 	"powerrchol/internal/core"
 	"powerrchol/internal/graph"
 	"powerrchol/internal/pcg"
+	"powerrchol/internal/sparse"
 )
 
 // Config is the pipeline-level view of the public Options: everything
@@ -50,6 +51,13 @@ type Config struct {
 	// after factorization, so Apply can run them across goroutines
 	// (bitwise identical to the serial solves).
 	Workers int
+
+	// CompactIndex selects the index width of factor storage. The
+	// randomized factorizers build compact (int32) storage directly;
+	// factorizations that build wide (complete Cholesky, IChol) convert
+	// afterwards. IndexCompact fails past the 2^31 boundary, IndexAuto
+	// falls back to wide. Index width never changes solve results.
+	CompactIndex sparse.IndexMode
 
 	Retry RetryPolicy
 
@@ -83,6 +91,10 @@ type Setup struct {
 	Exact bool
 	// FactorNNZ is |L| (0 for the matrix-free preconditioners).
 	FactorNNZ int
+	// FactorIndexBytes is the factor's index-array footprint in bytes
+	// (ColPtr + RowIdx) — the storage the compact index modes halve; 0
+	// for the matrix-free preconditioners.
+	FactorIndexBytes int
 	// Fold and Expand map right-hand sides into and solutions out of the
 	// transformed space; nil means identity.
 	Fold   func(b []float64) []float64
@@ -208,6 +220,18 @@ func (r *Runner) buildRung(ctx context.Context, i int) (*Setup, Attempt, error) 
 	if err != nil {
 		return nil, att, err
 	}
+	if r.cfg.CompactIndex != sparse.IndexWide {
+		// The randomized factorizers already built compact storage; this
+		// converts the wide-building factorizations (Cholesky, IChol).
+		if f, ok := m.(*core.Factor); ok && !f.IsCompact() {
+			if cerr := f.CompactIndices(); cerr != nil {
+				if r.cfg.CompactIndex == sparse.IndexCompact {
+					return nil, att, cerr
+				}
+				// IndexAuto: the factor outgrew int32; stay wide.
+			}
+		}
+	}
 	factorize := time.Since(t0)
 
 	if r.cfg.Workers > 1 {
@@ -215,20 +239,25 @@ func (r *Runner) buildRung(ctx context.Context, i int) (*Setup, Attempt, error) 
 			f.Parallelize(r.cfg.Workers)
 		}
 	}
+	idxBytes := 0
+	if f, ok := m.(*core.Factor); ok {
+		idxBytes = f.IndexBytes()
+	}
 	if r.cfg.WrapPrecond != nil {
 		m = r.cfg.WrapPrecond(i, m)
 	}
 	return &Setup{
-		Method:    rg.method,
-		Ordering:  rg.ordering,
-		Sys:       tr.Iterate,
-		M:         m,
-		Exact:     fac.Exact() && tr.Precond == tr.Iterate,
-		FactorNNZ: nnz,
-		Fold:      tr.Fold,
-		Expand:    tr.Expand,
-		Reorder:   reorder,
-		Factorize: factorize,
+		Method:           rg.method,
+		Ordering:         rg.ordering,
+		Sys:              tr.Iterate,
+		M:                m,
+		Exact:            fac.Exact() && tr.Precond == tr.Iterate,
+		FactorNNZ:        nnz,
+		FactorIndexBytes: idxBytes,
+		Fold:             tr.Fold,
+		Expand:           tr.Expand,
+		Reorder:          reorder,
+		Factorize:        factorize,
 	}, att, nil
 }
 
@@ -248,6 +277,7 @@ func (r *Runner) factorizerFor(rg rung, attempt int) Factorizer {
 		seed:    rg.seed,
 		buckets: r.cfg.Buckets,
 		samples: r.cfg.Samples,
+		index:   r.cfg.CompactIndex,
 		attempt: attempt,
 		hook:    r.cfg.FactorOpts,
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -73,11 +74,22 @@ func (nl *Netlist) NodeName(i int) string { return nl.names[i] }
 // NumNodes returns the number of named (non-ground) nodes.
 func (nl *Netlist) NumNodes() int { return len(nl.names) }
 
-// Parse reads the IBM power-grid SPICE subset: lines starting with R/r
-// (resistor), I/i (current load), V/v (voltage source); comment lines
-// (*), .op and .end cards are ignored.
-func Parse(r io.Reader) (*Netlist, error) {
-	nl := NewNetlist()
+// elementSink receives the typed elements of one netlist scan in file
+// order. Any handler may be nil to skip that element kind.
+type elementSink struct {
+	onResistor func(Resistor) error
+	onCurrent  func(CurrentSource) error
+	onVoltage  func(VoltageSource) error
+	onCap      func(Capacitor) error
+}
+
+// scan parses the IBM power-grid SPICE subset — lines starting with R/r
+// (resistor), I/i (current load), V/v (voltage source), C/c (capacitor);
+// comment lines (*), .op and .end cards are ignored — delivering each
+// element to the sink in file order. Node names are interned through
+// nl.Node with exactly the historical call pattern, so repeated scans of
+// the same stream (the two-pass ingest) assign identical node indices.
+func (nl *Netlist) scan(r io.Reader, sink elementSink) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	lineNo := 0
@@ -89,42 +101,68 @@ func Parse(r io.Reader) (*Netlist, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 4 {
-			return nil, fmt.Errorf("powergrid: line %d: expected 4 fields, got %q", lineNo, line)
+			return fmt.Errorf("powergrid: line %d: expected 4 fields, got %q", lineNo, line)
 		}
 		val, err := parseSpiceNumber(f[3])
 		if err != nil {
-			return nil, fmt.Errorf("powergrid: line %d: bad value %q: %w", lineNo, f[3], err)
+			return fmt.Errorf("powergrid: line %d: bad value %q: %w", lineNo, f[3], err)
 		}
 		switch line[0] {
 		case 'R', 'r':
 			if val <= 0 {
-				return nil, fmt.Errorf("powergrid: line %d: non-positive resistance %g", lineNo, val)
+				return fmt.Errorf("powergrid: line %d: non-positive resistance %g", lineNo, val)
 			}
-			nl.Resistors = append(nl.Resistors, Resistor{A: nl.Node(f[1]), B: nl.Node(f[2]), Ohms: val})
+			el := Resistor{A: nl.Node(f[1]), B: nl.Node(f[2]), Ohms: val}
+			if sink.onResistor != nil {
+				err = sink.onResistor(el)
+			}
 		case 'I', 'i':
 			n := nl.Node(f[1])
 			if n == -1 {
 				n = nl.Node(f[2])
 				val = -val
 			}
-			nl.Currents = append(nl.Currents, CurrentSource{Node: n, Amps: val})
+			if sink.onCurrent != nil {
+				err = sink.onCurrent(CurrentSource{Node: n, Amps: val})
+			}
 		case 'V', 'v':
 			n := nl.Node(f[1])
 			if n == -1 {
 				n = nl.Node(f[2])
 				val = -val
 			}
-			nl.VSources = append(nl.VSources, VoltageSource{Node: n, Volts: val})
+			if sink.onVoltage != nil {
+				err = sink.onVoltage(VoltageSource{Node: n, Volts: val})
+			}
 		case 'C', 'c':
 			if val < 0 {
-				return nil, fmt.Errorf("powergrid: line %d: negative capacitance %g", lineNo, val)
+				return fmt.Errorf("powergrid: line %d: negative capacitance %g", lineNo, val)
 			}
-			nl.Capacitors = append(nl.Capacitors, Capacitor{A: nl.Node(f[1]), B: nl.Node(f[2]), Farads: val})
+			if sink.onCap != nil {
+				err = sink.onCap(Capacitor{A: nl.Node(f[1]), B: nl.Node(f[2]), Farads: val})
+			}
 		default:
-			return nil, fmt.Errorf("powergrid: line %d: unsupported element %q", lineNo, line)
+			return fmt.Errorf("powergrid: line %d: unsupported element %q", lineNo, line)
+		}
+		if err != nil {
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// Parse reads the IBM power-grid SPICE subset: lines starting with R/r
+// (resistor), I/i (current load), V/v (voltage source); comment lines
+// (*), .op and .end cards are ignored.
+func Parse(r io.Reader) (*Netlist, error) {
+	nl := NewNetlist()
+	err := nl.scan(r, elementSink{
+		onResistor: func(el Resistor) error { nl.Resistors = append(nl.Resistors, el); return nil },
+		onCurrent:  func(el CurrentSource) error { nl.Currents = append(nl.Currents, el); return nil },
+		onVoltage:  func(el VoltageSource) error { nl.VSources = append(nl.VSources, el); return nil },
+		onCap:      func(el Capacitor) error { nl.Capacitors = append(nl.Capacitors, el); return nil },
+	})
+	if err != nil {
 		return nil, err
 	}
 	return nl, nil
@@ -173,22 +211,34 @@ type System struct {
 	Fixed map[int]float64
 }
 
-// BuildSystem assembles G·v = b by nodal analysis: ideal voltage-source
-// nodes are eliminated (Dirichlet reduction: their resistive couplings
-// move to the right-hand side), resistors to ground and sources
-// contribute to the diagonal slack, and current loads fill b.
-func (nl *Netlist) BuildSystem() (*System, error) {
-	fixed := make(map[int]float64)
-	for _, v := range nl.VSources {
-		//pglint:float-exact duplicate-source check: two cards pinning one node conflict unless they parsed to the identical voltage
-		if prev, ok := fixed[v.Node]; ok && prev != v.Volts {
-			return nil, fmt.Errorf("powergrid: node %s pinned to both %g and %g",
-				nl.names[v.Node], prev, v.Volts)
-		}
-		fixed[v.Node] = v.Volts
+// pinVoltage records one voltage source into the pinned-node map,
+// rejecting conflicting pins of the same node.
+func (nl *Netlist) pinVoltage(fixed map[int]float64, v VoltageSource) error {
+	//pglint:float-exact duplicate-source check: two cards pinning one node conflict unless they parsed to the identical voltage
+	if prev, ok := fixed[v.Node]; ok && prev != v.Volts {
+		return fmt.Errorf("powergrid: node %s pinned to both %g and %g",
+			nl.names[v.Node], prev, v.Volts)
 	}
-	// map netlist node -> unknown index
-	unk := make([]int, nl.NumNodes())
+	fixed[v.Node] = v.Volts
+	return nil
+}
+
+// sysAccum accumulates the nodal-analysis system element by element:
+// the Dirichlet reduction shared by BuildSystem (in-memory element
+// slices) and ParseSystemFile (streaming). Feeding elements in the same
+// order through either front-end yields identical systems.
+type sysAccum struct {
+	fixed   map[int]float64
+	unk     []int // netlist node -> unknown index; -1 for pinned nodes
+	unknown []int
+	g       *graph.Graph
+	d, b    []float64
+}
+
+// newSysAccum builds the unknown-index map from the pinned-node set and
+// sizes the accumulation arrays. resistorCap reserves edge capacity.
+func newSysAccum(numNodes, resistorCap int, fixed map[int]float64) *sysAccum {
+	unk := make([]int, numNodes)
 	var unknown []int
 	for i := range unk {
 		if _, pinned := fixed[i]; pinned {
@@ -199,49 +249,145 @@ func (nl *Netlist) BuildSystem() (*System, error) {
 		}
 	}
 	n := len(unknown)
-	g := graph.New(n, len(nl.Resistors))
-	d := make([]float64, n)
-	b := make([]float64, n)
-	for _, r := range nl.Resistors {
-		w := 1 / r.Ohms
-		a, c := r.A, r.B
+	return &sysAccum{
+		fixed:   fixed,
+		unk:     unk,
+		unknown: unknown,
+		g:       graph.New(n, resistorCap),
+		d:       make([]float64, n),
+		b:       make([]float64, n),
+	}
+}
+
+// resistor folds one resistor into the system: an edge between two
+// unknowns, diagonal slack for a grounded end, and a right-hand-side
+// contribution for a source-pinned end.
+func (sa *sysAccum) resistor(r Resistor) {
+	w := 1 / r.Ohms
+	a, c := r.A, r.B
+	switch {
+	case a == -1 && c == -1:
+		return // both grounded: no effect
+	case a == -1, c == -1:
+		node := a
+		if node == -1 {
+			node = c
+		}
+		if u := sa.unk[node]; u >= 0 {
+			sa.d[u] += w // resistor to ground
+		}
+	default:
+		ua, uc := sa.unk[a], sa.unk[c]
 		switch {
-		case a == -1 && c == -1:
-			continue // both grounded: no effect
-		case a == -1, c == -1:
-			node := a
-			if node == -1 {
-				node = c
+		case ua >= 0 && uc >= 0:
+			if ua != uc {
+				sa.g.MustAddEdge(ua, uc, w)
 			}
-			if u := unk[node]; u >= 0 {
-				d[u] += w // resistor to ground
-			}
-		default:
-			ua, uc := unk[a], unk[c]
-			switch {
-			case ua >= 0 && uc >= 0:
-				if ua != uc {
-					g.MustAddEdge(ua, uc, w)
-				}
-			case ua >= 0: // c pinned
-				d[ua] += w
-				b[ua] += w * fixed[c]
-			case uc >= 0: // a pinned
-				d[uc] += w
-				b[uc] += w * fixed[a]
-			}
+		case ua >= 0: // c pinned
+			sa.d[ua] += w
+			sa.b[ua] += w * sa.fixed[c]
+		case uc >= 0: // a pinned
+			sa.d[uc] += w
+			sa.b[uc] += w * sa.fixed[a]
 		}
 	}
-	for _, cs := range nl.Currents {
-		if u := unk[cs.Node]; u >= 0 {
-			b[u] -= cs.Amps
-		}
+}
+
+// current folds one current load into the right-hand side.
+func (sa *sysAccum) current(cs CurrentSource) {
+	if u := sa.unk[cs.Node]; u >= 0 {
+		sa.b[u] -= cs.Amps
 	}
-	sys, err := graph.NewSDDM(g.Coalesce(), d)
+}
+
+// finish coalesces the edge list and wraps the system.
+func (sa *sysAccum) finish() (*System, error) {
+	sys, err := graph.NewSDDM(sa.g.Coalesce(), sa.d)
 	if err != nil {
 		return nil, err
 	}
-	return &System{Sys: sys, B: b, Unknown: unknown, Fixed: fixed}, nil
+	return &System{Sys: sys, B: sa.b, Unknown: sa.unknown, Fixed: sa.fixed}, nil
+}
+
+// BuildSystem assembles G·v = b by nodal analysis: ideal voltage-source
+// nodes are eliminated (Dirichlet reduction: their resistive couplings
+// move to the right-hand side), resistors to ground and sources
+// contribute to the diagonal slack, and current loads fill b.
+func (nl *Netlist) BuildSystem() (*System, error) {
+	fixed := make(map[int]float64)
+	for _, v := range nl.VSources {
+		if err := nl.pinVoltage(fixed, v); err != nil {
+			return nil, err
+		}
+	}
+	sa := newSysAccum(nl.NumNodes(), len(nl.Resistors), fixed)
+	for _, r := range nl.Resistors {
+		sa.resistor(r)
+	}
+	for _, cs := range nl.Currents {
+		sa.current(cs)
+	}
+	return sa.finish()
+}
+
+// ParseSystemFile assembles the MNA system straight from a netlist file
+// in two streaming passes: the first interns node names, counts
+// resistors and collects the voltage-source pins; the second folds
+// resistors and current loads directly into the system arrays. The
+// element slices Parse materializes (one struct per card, held
+// alongside the assembled system) are never built, so peak ingest
+// memory is the system plus the name table. The result is identical to
+// Parse followed by BuildSystem — same element order through the same
+// accumulation code.
+//
+// The returned Netlist carries the interned node names (for NodeName
+// lookups against System.Unknown) but empty element slices.
+func ParseSystemFile(path string) (*System, *Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	nl := NewNetlist()
+	fixed := make(map[int]float64)
+	resistors := 0
+	err = nl.scan(f, elementSink{
+		onResistor: func(Resistor) error { resistors++; return nil },
+		onVoltage:  func(v VoltageSource) error { return nl.pinVoltage(fixed, v) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fill in two more passes — resistors, then current loads — because
+	// BuildSystem folds every resistor into b before any load, and a
+	// single file-order pass would interleave the float accumulations
+	// and change the result's last bits.
+	sa := newSysAccum(nl.NumNodes(), resistors, fixed)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	err = nl.scan(f, elementSink{
+		onResistor: func(r Resistor) error { sa.resistor(r); return nil },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	err = nl.scan(f, elementSink{
+		onCurrent: func(cs CurrentSource) error { sa.current(cs); return nil },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := sa.finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, nl, nil
 }
 
 // ToNetlist renders a generated Grid as a netlist: wire and via segments

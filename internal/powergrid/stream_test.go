@@ -1,0 +1,140 @@
+package powergrid
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Streaming-ingest suite for netlists: ParseSystemFile's multi-pass
+// path must produce a System byte-identical to Parse + BuildSystem —
+// same node interning, same float accumulation order, same assembled
+// matrix bits.
+
+func assertSameSystem(t *testing.T, what string, want, got *System) {
+	t.Helper()
+	if got.Sys.N() != want.Sys.N() {
+		t.Fatalf("%s: %d unknowns, want %d", what, got.Sys.N(), want.Sys.N())
+	}
+	aw, ag := want.Sys.ToCSC(), got.Sys.ToCSC()
+	for j := range aw.ColPtr {
+		if ag.ColPtr[j] != aw.ColPtr[j] {
+			t.Fatalf("%s: ColPtr[%d] = %d, want %d", what, j, ag.ColPtr[j], aw.ColPtr[j])
+		}
+	}
+	for p := range aw.RowIdx {
+		if ag.RowIdx[p] != aw.RowIdx[p] {
+			t.Fatalf("%s: RowIdx[%d] = %d, want %d", what, p, ag.RowIdx[p], aw.RowIdx[p])
+		}
+		if math.Float64bits(ag.Val[p]) != math.Float64bits(aw.Val[p]) {
+			t.Fatalf("%s: matrix value bits differ at %d: %x vs %x", what, p,
+				math.Float64bits(ag.Val[p]), math.Float64bits(aw.Val[p]))
+		}
+	}
+	for i := range want.B {
+		if math.Float64bits(got.B[i]) != math.Float64bits(want.B[i]) {
+			t.Fatalf("%s: rhs bits differ at %d: %g vs %g", what, i, got.B[i], want.B[i])
+		}
+	}
+	if len(got.Unknown) != len(want.Unknown) {
+		t.Fatalf("%s: %d unknown mappings, want %d", what, len(got.Unknown), len(want.Unknown))
+	}
+	for i := range want.Unknown {
+		if got.Unknown[i] != want.Unknown[i] {
+			t.Fatalf("%s: Unknown[%d] = %d, want %d", what, i, got.Unknown[i], want.Unknown[i])
+		}
+	}
+	if len(got.Fixed) != len(want.Fixed) {
+		t.Fatalf("%s: %d pinned nodes, want %d", what, len(got.Fixed), len(want.Fixed))
+	}
+	for node, v := range want.Fixed {
+		if gv, ok := got.Fixed[node]; !ok || math.Float64bits(gv) != math.Float64bits(v) {
+			t.Fatalf("%s: pinned node %d = %g (present %v), want %g", what, node, gv, ok, v)
+		}
+	}
+}
+
+// TestParseSystemFileMatchesInMemory runs both ingest paths over a
+// generated grid netlist — thousands of elements in generator order —
+// and over a small hand-written netlist that interleaves resistors,
+// loads and sources (the pattern that would expose any accumulation-
+// order drift between the streaming passes and BuildSystem).
+func TestParseSystemFileMatchesInMemory(t *testing.T) {
+	g, err := Generate(smallSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.ToNetlist().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]string{
+		"generated grid": buf.String(),
+		// Node b carries resistor and current contributions on both
+		// sides of a source card; file order differs from element-kind
+		// order, so a single-pass fill would change the float sums.
+		"interleaved": `* interleaved elements
+R1 a b 2.0
+I1 b 0 0.001
+R2 b c 3.0
+V1 c 0 1.8
+I2 a 0 0.0005
+R3 a c 5.0
+C1 a 0 1e-12
+.end
+`,
+	}
+	for what, src := range sources {
+		nl, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", what, err)
+		}
+		want, err := nl.BuildSystem()
+		if err != nil {
+			t.Fatalf("%s: BuildSystem: %v", what, err)
+		}
+
+		path := filepath.Join(t.TempDir(), "grid.sp")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, gotNL, err := ParseSystemFile(path)
+		if err != nil {
+			t.Fatalf("%s: ParseSystemFile: %v", what, err)
+		}
+		assertSameSystem(t, what, want, got)
+
+		// The streaming netlist interns the identical node table.
+		if gotNL.NumNodes() != nl.NumNodes() {
+			t.Fatalf("%s: %d nodes, want %d", what, gotNL.NumNodes(), nl.NumNodes())
+		}
+		for i := 0; i < nl.NumNodes(); i++ {
+			if gotNL.NodeName(i) != nl.NodeName(i) {
+				t.Fatalf("%s: node %d named %q, want %q", what, i, gotNL.NodeName(i), nl.NodeName(i))
+			}
+		}
+	}
+}
+
+// TestParseSystemFileErrors: the streaming path must reject what the
+// in-memory path rejects.
+func TestParseSystemFileErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"malformed":       "R1 a b not_a_num\n",
+		"conflicting pin": "V1 a 0 1.0\nV2 a 0 2.0\nR1 a b 1\n",
+	} {
+		path := filepath.Join(t.TempDir(), "bad.sp")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ParseSystemFile(path); err == nil {
+			t.Errorf("%s: streaming parse accepted bad netlist", name)
+		}
+	}
+	if _, _, err := ParseSystemFile(filepath.Join(t.TempDir(), "absent.sp")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

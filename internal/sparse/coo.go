@@ -75,12 +75,29 @@ func (c *COO) ToCSC() *CSC {
 		a.RowIdx[q] = c.I[k]
 		a.Val[q] = c.V[k]
 	}
-	// Sort each column by row index and merge duplicates in place.
+	compressColumns(a)
+	return a
+}
+
+// compressColumns is the shared tail of every CSC constructor: entries
+// are already grouped by column per a.ColPtr but unsorted within each
+// column and possibly duplicated. It sorts each column by row index and
+// merges duplicates in place (summing values, Matrix Market semantics),
+// trimming a's arrays to the merged entry count. Every builder that
+// positions entries in the same pre-sort arrangement and then calls this
+// one function produces bit-identical matrices — the property the
+// streaming ingest paths rely on.
+func compressColumns(a *CSC) {
 	out := 0
-	colStart := make([]int, c.Cols+1)
-	for j := 0; j < c.Cols; j++ {
+	colStart := make([]int, a.Cols+1)
+	// One sorter reused across columns: boxing a fresh colSorter into the
+	// sort.Interface per column costs an allocation per column, which at
+	// 1e7 columns is the difference between assembly being allocation-flat
+	// and not (the graph package's allocation regression test pins this).
+	seg := &colSorter{}
+	for j := 0; j < a.Cols; j++ {
 		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
-		seg := colSorter{rows: a.RowIdx[lo:hi], vals: a.Val[lo:hi]}
+		seg.rows, seg.vals = a.RowIdx[lo:hi], a.Val[lo:hi]
 		sort.Sort(seg)
 		colStart[j] = out
 		for p := lo; p < hi; p++ {
@@ -93,11 +110,10 @@ func (c *COO) ToCSC() *CSC {
 			}
 		}
 	}
-	colStart[c.Cols] = out
+	colStart[a.Cols] = out
 	a.ColPtr = colStart
 	a.RowIdx = a.RowIdx[:out]
 	a.Val = a.Val[:out]
-	return a
 }
 
 type colSorter struct {

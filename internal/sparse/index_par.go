@@ -1,0 +1,93 @@
+package sparse
+
+import "sync"
+
+// Parallel kernels for the compact-index storage, mirroring csr.go and
+// parallel.go: same partitioning, same per-row serial accumulation, so
+// every result is bitwise identical to the corresponding wide kernel
+// for every worker count.
+
+// MulVecParallel computes y = A·x with rows partitioned across
+// `workers` goroutines, balanced by nonzero count. Bitwise identical to
+// CSR.MulVecParallel (and to the serial MulVec).
+func (a *CSR32) MulVecParallel(y, x []float64, workers int) {
+	if workers <= 1 || a.Rows < 4*workers {
+		a.MulVec(y, x)
+		return
+	}
+	bp := getBounds(workers + 1)
+	bounds := *bp
+	nnzPartitionInto32(bounds, a.RowPtr, a.Rows, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var s float64
+				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+					s += a.Val[p] * x[a.ColIdx[p]]
+				}
+				y[i] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	putBounds(bp)
+}
+
+// MulVecTransParallel computes y = Aᵀ·x with output entries partitioned
+// across `workers` goroutines; bitwise identical to the wide
+// CSC.MulVecTransParallel. For symmetric matrices this is a race-free
+// parallel A·x.
+func (a *CSC32) MulVecTransParallel(y, x []float64, workers int) {
+	if workers <= 1 || a.NNZ() < ParThreshold {
+		a.MulVecTrans(y, x)
+		return
+	}
+	bp := getBounds(workers + 1)
+	bounds := *bp
+	nnzPartitionInto32(bounds, a.ColPtr, a.Cols, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				var s float64
+				for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+					s += a.Val[p] * x[a.RowIdx[p]]
+				}
+				y[j] = s
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	putBounds(bp)
+}
+
+// nnzPartitionInto32 is nnzPartitionInto for compact cumulative-entry
+// pointers. Same boundaries as the wide version for identical inputs.
+func nnzPartitionInto32(bounds []int, ptr []int32, n, workers int) {
+	bounds[0] = 0
+	nnz := int(ptr[n])
+	at := 0
+	for w := 1; w < workers; w++ {
+		target := nnz * w / workers
+		for at < n && int(ptr[at]) < target {
+			at++
+		}
+		bounds[w] = at
+	}
+	bounds[workers] = n
+}

@@ -4,113 +4,196 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
 
 // Matrix Market I/O for the "matrix coordinate real general|symmetric"
 // subset, which covers every matrix this repository reads or writes.
-// Symmetric files store the lower triangle; ReadMatrixMarket mirrors it so
+// Symmetric files store the lower triangle; the readers mirror it so
 // the returned CSC holds both triangles, matching the package convention.
+//
+// Two readers share one parser: ReadMatrixMarket accumulates COO
+// triplets from a stream, ReadMatrixMarketFile makes two passes over a
+// file (count, then fill) so the triplet copy is never materialized —
+// the ingest-side half of the paper-scale memory diet. Both funnel every
+// entry through the same scan code and the same column sort/merge tail,
+// so they produce byte-identical matrices.
 
-// ReadMatrixMarket parses a Matrix Market stream.
-func ReadMatrixMarket(r io.Reader) (*CSC, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+// mmHeader is the parsed banner and size line of a Matrix Market file.
+type mmHeader struct {
+	rows, cols, nnz    int
+	pattern, symmetric bool
+}
+
+// readMMHeader parses the banner and size line.
+func readMMHeader(br *bufio.Reader) (mmHeader, error) {
+	var h mmHeader
 	header, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+		return h, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
 	}
 	fields := strings.Fields(strings.ToLower(header))
 	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-		return nil, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
+		return h, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
 	}
 	if fields[2] != "coordinate" {
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", fields[2])
+		return h, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", fields[2])
 	}
 	if fields[3] != "real" && fields[3] != "integer" && fields[3] != "pattern" {
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field %q", fields[3])
+		return h, fmt.Errorf("sparse: unsupported MatrixMarket field %q", fields[3])
 	}
-	pattern := fields[3] == "pattern"
-	symmetric := false
+	h.pattern = fields[3] == "pattern"
 	switch fields[4] {
 	case "general":
 	case "symmetric":
-		symmetric = true
+		h.symmetric = true
 	default:
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", fields[4])
+		return h, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", fields[4])
 	}
 
-	var rows, cols, nnz int
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil && line == "" {
-			return nil, fmt.Errorf("sparse: missing MatrixMarket size line: %w", err)
+			return h, fmt.Errorf("sparse: missing MatrixMarket size line: %w", err)
 		}
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		if _, err := fmt.Sscan(line, &h.rows, &h.cols, &h.nnz); err != nil {
+			return h, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
 		}
 		break
 	}
-	if rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("sparse: negative MatrixMarket size %d %d %d", rows, cols, nnz)
+	if h.rows < 0 || h.cols < 0 || h.nnz < 0 {
+		return h, fmt.Errorf("sparse: negative MatrixMarket size %d %d %d", h.rows, h.cols, h.nnz)
 	}
-	if symmetric && rows != cols {
+	if h.symmetric && h.rows != h.cols {
 		// The mirrored entry (j,i) of a non-square "symmetric" file would
 		// land out of range.
-		return nil, fmt.Errorf("sparse: symmetric MatrixMarket matrix is %dx%d, not square", rows, cols)
+		return h, fmt.Errorf("sparse: symmetric MatrixMarket matrix is %dx%d, not square", h.rows, h.cols)
 	}
+	return h, nil
+}
 
-	// Cap the pre-allocation: the header's nnz is a claim, not data. The
-	// triplet slices grow with the entries actually read, so a forged
-	// count fails at the truncation check instead of exhausting memory.
-	coo := NewCOO(rows, cols, min(nnz, 1<<20)*2)
-	for k := 0; k < nnz; {
+// scanMMEntries streams the data section, invoking emit for every
+// stored entry (0-based) and, for symmetric files, its mirror — the
+// exact call sequence the historical COO accumulator saw, which is what
+// keeps every consumer byte-identical.
+func scanMMEntries(br *bufio.Reader, h mmHeader, emit func(i, j int, v float64)) error {
+	for k := 0; k < h.nnz; {
 		line, err := br.ReadString('\n')
 		trimmed := strings.TrimSpace(line)
 		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
 			f := strings.Fields(trimmed)
 			if len(f) < 2 {
-				return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
+				return fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
 			}
 			i, err1 := strconv.Atoi(f[0])
 			j, err2 := strconv.Atoi(f[1])
 			v := 1.0
 			var err3 error
-			if !pattern {
+			if !h.pattern {
 				if len(f) < 3 {
-					return nil, fmt.Errorf("sparse: missing value in entry %q", trimmed)
+					return fmt.Errorf("sparse: missing value in entry %q", trimmed)
 				}
 				v, err3 = strconv.ParseFloat(f[2], 64)
 			}
 			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
+				return fmt.Errorf("sparse: bad MatrixMarket entry %q", trimmed)
 			}
-			if i < 1 || i > rows || j < 1 || j > cols {
-				return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of range", i, j)
+			if i < 1 || i > h.rows || j < 1 || j > h.cols {
+				return fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of range", i, j)
 			}
-			//pglint:hotalloc matrix ingest, runs once per file; COO capacity is reserved from the header nnz
-			coo.Add(i-1, j-1, v)
-			if symmetric && i != j {
-				//pglint:hotalloc mirrored entry of the symmetric ingest above
-				coo.Add(j-1, i-1, v)
+			emit(i-1, j-1, v)
+			if h.symmetric && i != j {
+				emit(j-1, i-1, v)
 			}
 			k++
 		}
 		if err != nil {
-			if err == io.EOF && k == nnz {
+			if err == io.EOF && k == h.nnz {
 				break
 			}
 			if err == io.EOF {
-				return nil, fmt.Errorf("sparse: MatrixMarket file truncated: got %d of %d entries", k, nnz)
+				return fmt.Errorf("sparse: MatrixMarket file truncated: got %d of %d entries", k, h.nnz)
 			}
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
+
+// ReadMatrixMarket parses a Matrix Market stream.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	h, err := readMMHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the pre-allocation: the header's nnz is a claim, not data. The
+	// triplet slices grow with the entries actually read, so a forged
+	// count fails at the truncation check instead of exhausting memory.
+	coo := NewCOO(h.rows, h.cols, min(h.nnz, 1<<20)*2)
+	err = scanMMEntries(br, h, func(i, j int, v float64) {
+		//pglint:hotalloc matrix ingest, runs once per file; COO capacity is reserved from the header nnz
+		coo.Add(i, j, v)
+	})
+	if err != nil {
+		return nil, err
+	}
 	return coo.ToCSC(), nil
+}
+
+// ReadMatrixMarketFile parses a Matrix Market file in two streaming
+// passes: the first counts entries per column, the second fills the
+// exactly-sized CSC arrays directly. Peak memory is the final matrix
+// plus one counting slice — the COO triplet copy ReadMatrixMarket holds
+// next to the result is never built. The output is byte-identical to
+// ReadMatrixMarket on the same file (same entry order, same column
+// sort/merge tail).
+func ReadMatrixMarketFile(path string) (*CSC, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	h, err := readMMHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, h.cols)
+	if err := scanMMEntries(br, h, func(_, j int, _ float64) {
+		counts[j]++
+	}); err != nil {
+		return nil, err
+	}
+
+	b, err := NewCSCBuilder(h.rows, h.cols, counts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br.Reset(f)
+	// Re-parse the header so the entry scan starts at the data section;
+	// the file cannot have changed shape between passes we control.
+	h2, err := readMMHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if h2 != h {
+		return nil, fmt.Errorf("sparse: %s changed between passes", path)
+	}
+	if err := scanMMEntries(br, h, b.Set); err != nil {
+		return nil, err
+	}
+	return b.Finish()
 }
 
 // WriteMatrixMarket writes a in "coordinate real" format. If symmetric is

@@ -1,0 +1,134 @@
+package sparse
+
+// Triangular solves over compact-index (int32) factor storage. Each
+// kernel performs the identical floating-point operations in the
+// identical order as its wide counterpart in trisolve.go /
+// trisolve_par.go, so a compact factor solves to the same bits as the
+// wide factor it mirrors.
+
+// LowerSolve32 solves L·x = b in place for a lower triangular CSC32
+// with the diagonal first in each column. Bitwise identical to
+// LowerSolve on the widened matrix.
+func LowerSolve32(l *CSC32, x []float64) {
+	for j := 0; j < l.Cols; j++ {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		xj := x[j] / l.Val[p]
+		x[j] = xj
+		for p++; p < end; p++ {
+			x[l.RowIdx[p]] -= l.Val[p] * xj
+		}
+	}
+}
+
+// LowerTransposeSolve32 solves Lᵀ·x = b in place for the same layout;
+// bitwise identical to LowerTransposeSolve on the widened matrix.
+func LowerTransposeSolve32(l *CSC32, x []float64) {
+	for j := l.Cols - 1; j >= 0; j-- {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		sum := x[j]
+		for q := p + 1; q < end; q++ {
+			sum -= l.Val[q] * x[l.RowIdx[q]]
+		}
+		x[j] = sum / l.Val[p]
+	}
+}
+
+// TriSolver32 is the level-scheduled parallel triangular solver for
+// compact factors: the int32 twin of TriSolver, with the same level
+// schedule (levels depend only on structure, not index width) and the
+// same per-row serial accumulation, hence bitwise-identical solves.
+type TriSolver32 struct {
+	l *CSC32
+
+	rowPtr []int32 // CSR of L; rows sorted by column, diagonal last
+	colIdx []int32
+	val    []float64
+
+	fOrder, fPtr []int
+	bOrder, bPtr []int
+
+	minParallel int
+}
+
+// NewTriSolver32 builds the level schedule for the compact
+// lower-triangular factor l (diagonal first in each column).
+func NewTriSolver32(l *CSC32) *TriSolver32 {
+	n := l.Cols
+	t := &TriSolver32{l: l, minParallel: 256}
+
+	csr := l.ToCSR()
+	t.rowPtr, t.colIdx, t.val = csr.RowPtr, csr.ColIdx, csr.Val
+
+	lev := make([]int, n)
+	maxLev := 0
+	for i := 0; i < n; i++ {
+		li := lev[i] + 1
+		for p := l.ColPtr[i] + 1; p < l.ColPtr[i+1]; p++ {
+			if j := l.RowIdx[p]; lev[j] < li {
+				lev[j] = li
+			}
+		}
+		if lev[i] > maxLev {
+			maxLev = lev[i]
+		}
+	}
+	t.fOrder, t.fPtr = levelSort(lev, maxLev)
+
+	for i := range lev {
+		lev[i] = 0
+	}
+	maxLev = 0
+	for j := n - 1; j >= 0; j-- {
+		for p := l.ColPtr[j] + 1; p < l.ColPtr[j+1]; p++ {
+			if li := lev[l.RowIdx[p]] + 1; lev[j] < li {
+				lev[j] = li
+			}
+		}
+		if lev[j] > maxLev {
+			maxLev = lev[j]
+		}
+	}
+	t.bOrder, t.bPtr = levelSort(lev, maxLev)
+	return t
+}
+
+// Levels reports the depth of the forward schedule.
+func (t *TriSolver32) Levels() int { return len(t.fPtr) - 1 }
+
+// LowerSolve solves L·x = b in place, level by level across `workers`
+// goroutines. Bitwise identical to LowerSolve32.
+func (t *TriSolver32) LowerSolve(x []float64, workers int) {
+	if workers <= 1 || t.l.Cols < ParThreshold {
+		LowerSolve32(t.l, x)
+		return
+	}
+	runLevels(t.fOrder, t.fPtr, t.minParallel, workers, func(j int) {
+		end := t.rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		s := x[j]
+		for p := t.rowPtr[j]; p < end; p++ {
+			s -= t.val[p] * x[t.colIdx[p]]
+		}
+		x[j] = s / t.val[end]
+	})
+}
+
+// LowerTransposeSolve solves Lᵀ·x = b in place, level by level across
+// `workers` goroutines. Bitwise identical to LowerTransposeSolve32.
+func (t *TriSolver32) LowerTransposeSolve(x []float64, workers int) {
+	if workers <= 1 || t.l.Cols < ParThreshold {
+		LowerTransposeSolve32(t.l, x)
+		return
+	}
+	l := t.l
+	runLevels(t.bOrder, t.bPtr, t.minParallel, workers, func(j int) {
+		p := l.ColPtr[j]
+		end := l.ColPtr[j+1]
+		s := x[j]
+		for q := p + 1; q < end; q++ {
+			s -= l.Val[q] * x[l.RowIdx[q]]
+		}
+		x[j] = s / l.Val[p]
+	})
+}

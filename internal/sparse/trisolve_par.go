@@ -116,7 +116,7 @@ func (t *TriSolver) LowerSolve(x []float64, workers int) {
 		LowerSolve(t.l, x)
 		return
 	}
-	t.run(t.fOrder, t.fPtr, workers, func(j int) {
+	runLevels(t.fOrder, t.fPtr, t.minParallel, workers, func(j int) {
 		end := t.rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
 		s := x[j]
 		for p := t.rowPtr[j]; p < end; p++ {
@@ -134,7 +134,7 @@ func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
 		return
 	}
 	l := t.l
-	t.run(t.bOrder, t.bPtr, workers, func(j int) {
+	runLevels(t.bOrder, t.bPtr, t.minParallel, workers, func(j int) {
 		p := l.ColPtr[j]
 		end := l.ColPtr[j+1]
 		s := x[j]
@@ -145,8 +145,10 @@ func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
 	})
 }
 
-// run executes solve(j) for every j in order, one level at a time; rows
-// within a level are independent and split across workers.
+// runLevels executes solve(j) for every j in order, one level at a
+// time; rows within a level are independent and split across workers.
+// It is the scheduling engine shared by TriSolver and TriSolver32 —
+// the schedule never touches index storage, so both widths reuse it.
 //
 // Workers are spawned once per call — on the first level wide enough to
 // parallelize — and retired by closing the job channel after the last
@@ -156,7 +158,7 @@ func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
 // O(workers). Which worker executes which part is scheduling-dependent,
 // but parts never split a row and each row is accumulated serially in a
 // fixed order, so the result stays bitwise identical to the serial solve.
-func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
+func runLevels(order, ptr []int, minParallel, workers int, solve func(j int)) {
 	var jobs chan []int
 	var wg sync.WaitGroup
 	worker := func(jobs <-chan []int) {
@@ -169,7 +171,7 @@ func (t *TriSolver) run(order, ptr []int, workers int, solve func(j int)) {
 	}
 	for k := 0; k+1 < len(ptr); k++ {
 		rows := order[ptr[k]:ptr[k+1]]
-		if len(rows) < t.minParallel {
+		if len(rows) < minParallel {
 			for _, j := range rows {
 				solve(j)
 			}

@@ -134,6 +134,32 @@ const (
 // TransformByName resolves the CLI spelling of a transform stage.
 func TransformByName(name string) (Transform, error) { return pipeline.TransformByName(name) }
 
+// IndexMode selects the index width of the solver's factor and
+// iteration-matrix storage. At paper scale (1e7+ nodes) the index
+// arrays rival the float64 values in memory; compact (int32) storage
+// halves them. Index width never changes solve results: every compact
+// kernel performs the identical floating-point operations in the
+// identical order as its wide counterpart.
+type IndexMode = sparse.IndexMode
+
+const (
+	// IndexWide is the default 64-bit index storage, byte-for-byte the
+	// behaviour of every earlier revision.
+	IndexWide = sparse.IndexWide
+	// IndexCompact requires int32 index storage; a system or factor
+	// past the 2^31-entry boundary fails with an error wrapping
+	// ErrIndexOverflow instead of silently widening.
+	IndexCompact = sparse.IndexCompact
+	// IndexAuto uses int32 storage when the problem fits and falls back
+	// to wide storage when it does not.
+	IndexAuto = sparse.IndexAuto
+)
+
+// ErrIndexOverflow reports a matrix or factor whose dimensions or entry
+// count exceed compact (int32) index storage; returned (wrapped) by
+// solves configured with IndexCompact on systems past the 2^31 boundary.
+var ErrIndexOverflow = sparse.ErrIndexOverflow
+
 // RetryPolicy governs the bounded recovery ladder of the randomized
 // pipeline; see the pipeline definition for the full contract. The zero
 // value disables recovery.
@@ -179,6 +205,13 @@ type Options struct {
 	// triangular solves; every individual solve stays bitwise identical
 	// to the serial path regardless of Workers.
 	Workers int
+
+	// CompactIndex selects int32 index storage for the factor and the
+	// iteration matrix (default IndexWide — the historical layout).
+	// IndexCompact halves index memory and fails past the 2^31-entry
+	// boundary; IndexAuto falls back to wide storage instead. Solve
+	// results are bitwise identical across index modes.
+	CompactIndex IndexMode
 
 	// Retry is the automatic recovery policy. The zero value disables
 	// recovery (single attempt — today's behaviour); see RetryPolicy.
@@ -234,6 +267,8 @@ func (o *Options) validate() error {
 		return fmt.Errorf("powerrchol: negative Retry.MaxAttempts %d", o.Retry.MaxAttempts)
 	case math.IsNaN(o.HeavyFactor) || o.HeavyFactor < 0:
 		return fmt.Errorf("powerrchol: HeavyFactor %g is not a valid threshold", o.HeavyFactor)
+	case o.CompactIndex < IndexWide || o.CompactIndex > IndexAuto:
+		return fmt.Errorf("powerrchol: unknown CompactIndex mode %v", o.CompactIndex)
 	}
 	return nil
 }
@@ -243,19 +278,20 @@ func (o *Options) validate() error {
 // contraction-bearing plans.
 func (o Options) pipelineConfig(prepared bool) pipeline.Config {
 	cfg := pipeline.Config{
-		Method:      o.Method,
-		Ordering:    o.Ordering,
-		Transform:   o.Transform,
-		Seed:        o.Seed,
-		Buckets:     o.Buckets,
-		Samples:     o.Samples,
-		HeavyFactor: o.HeavyFactor,
-		RecoverFrac: o.RecoverFrac,
-		DropTol:     o.DropTol,
-		MergeFactor: o.MergeFactor,
-		Workers:     o.Workers,
-		Retry:       o.Retry,
-		Prepared:    prepared,
+		Method:       o.Method,
+		Ordering:     o.Ordering,
+		Transform:    o.Transform,
+		Seed:         o.Seed,
+		Buckets:      o.Buckets,
+		Samples:      o.Samples,
+		HeavyFactor:  o.HeavyFactor,
+		RecoverFrac:  o.RecoverFrac,
+		DropTol:      o.DropTol,
+		MergeFactor:  o.MergeFactor,
+		Workers:      o.Workers,
+		CompactIndex: o.CompactIndex,
+		Retry:        o.Retry,
+		Prepared:     prepared,
 	}
 	if o.hooks != nil {
 		cfg.FactorOpts = o.hooks.factorOpts
@@ -300,7 +336,11 @@ type Result struct {
 	History    []float64
 	// FactorNNZ is |L| (0 for AMG-family methods).
 	FactorNNZ int
-	Timings   Timings
+	// FactorIndexBytes is the factor's index-array footprint in bytes
+	// (column pointers + row indices) — halved by the compact index
+	// modes; 0 for the matrix-free preconditioners.
+	FactorIndexBytes int
+	Timings          Timings
 	// BestIteration is the iteration that produced X. It equals
 	// Iterations on converged runs; on capped, stagnated or cancelled
 	// runs X is the best iterate seen, not the last.
@@ -382,7 +422,7 @@ func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b [
 			}
 			return nil, &SolveError{Attempts: r.Trail(), Last: err}
 		}
-		res := &Result{FactorNNZ: setup.FactorNNZ}
+		res := &Result{FactorNNZ: setup.FactorNNZ, FactorIndexBytes: setup.FactorIndexBytes}
 		res.Timings.Reorder = setup.Reorder
 		res.Timings.Factorize = setup.Factorize
 
@@ -411,13 +451,11 @@ func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b [
 		t0 := time.Now()
 		// Assembling the CSC once is faster than edge-list SpMV per
 		// iteration; with Workers > 1 the product runs row-parallel over a
-		// CSR copy.
-		a := setup.Sys.ToCSC()
-		mul := func(y, x []float64) { a.MulVec(y, x) }
-		if opt.Workers > 1 {
-			csr := a.ToCSR()
-			workers := opt.Workers
-			mul = func(y, x []float64) { csr.MulVecParallel(y, x, workers) }
+		// CSR copy, and under a compact index mode the matrix drops to
+		// int32 indices (bitwise-identical products).
+		mul, merr := iterationMul(setup.Sys.ToCSC(), opt)
+		if merr != nil {
+			return nil, merr
 		}
 		pres, perr := pcg.SolveOp(setup.Sys.N(), mul, rhs, setup.M, opt.pcgOptions(ctx, opt.Workers))
 		res.Timings.Iterate = time.Since(t0)
@@ -456,6 +494,34 @@ func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b [
 
 func ctxDone(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// iterationMul builds the SpMV closure the iteration phase multiplies
+// with, honoring the index-mode and worker settings. Compact and wide
+// operators are bitwise identical; an overflowing IndexCompact request
+// is the only error.
+func iterationMul(a *sparse.CSC, opt Options) (func(y, x []float64), error) {
+	if opt.CompactIndex != IndexWide {
+		a32, err := sparse.CompactCSC(a)
+		switch {
+		case err == nil:
+			if opt.Workers > 1 {
+				csr := a32.ToCSR()
+				workers := opt.Workers
+				return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, nil
+			}
+			return a32.MulVec, nil
+		case opt.CompactIndex == IndexCompact:
+			return nil, err
+		}
+		// IndexAuto past the boundary: fall through to wide storage.
+	}
+	if opt.Workers > 1 {
+		csr := a.ToCSR()
+		workers := opt.Workers
+		return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, nil
+	}
+	return a.MulVec, nil
 }
 
 // notConverged builds the typed iteration-cap error for a populated

@@ -35,17 +35,22 @@ import (
 type Solver struct {
 	opt Options
 	sys *graph.SDDM
+	// The assembled iteration matrix, in exactly one storage: wide (a)
+	// or compact int32 (a32) per Options.CompactIndex. The two multiply
+	// to identical bits, so the width is invisible to solve results.
 	a   *sparse.CSC
+	a32 *sparse.CSC32
 	m   pcg.Preconditioner
 	// exact marks a preconditioner that solves the system exactly
 	// (complete Cholesky with no sparsifying transform in the way):
 	// Solve applies it once instead of iterating.
 	exact bool
 
-	setupReorder   time.Duration
-	setupFactorize time.Duration
-	factorNNZ      int
-	setupAttempts  []Attempt
+	setupReorder     time.Duration
+	setupFactorize   time.Duration
+	factorNNZ        int
+	factorIndexBytes int
+	setupAttempts    []Attempt
 }
 
 // NewSolver validates the system and builds the preconditioner for the
@@ -79,16 +84,30 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 		}
 		return nil, &SolveError{Attempts: r.Trail(), Last: err}
 	}
+	a := setup.Sys.ToCSC()
+	var a32 *sparse.CSC32
+	if opt.CompactIndex != IndexWide {
+		c, cerr := sparse.CompactCSC(a)
+		switch {
+		case cerr == nil:
+			a, a32 = nil, c
+		case opt.CompactIndex == IndexCompact:
+			return nil, cerr
+		}
+		// IndexAuto past the boundary: keep the wide matrix.
+	}
 	return &Solver{
-		opt:            opt,
-		sys:            sys,
-		a:              setup.Sys.ToCSC(),
-		m:              setup.M,
-		exact:          setup.Exact,
-		setupReorder:   setup.Reorder,
-		setupFactorize: setup.Factorize,
-		factorNNZ:      setup.FactorNNZ,
-		setupAttempts:  r.Succeed(0, 0),
+		opt:              opt,
+		sys:              sys,
+		a:                a,
+		a32:              a32,
+		m:                setup.M,
+		exact:            setup.Exact,
+		setupReorder:     setup.Reorder,
+		setupFactorize:   setup.Factorize,
+		factorNNZ:        setup.FactorNNZ,
+		factorIndexBytes: setup.FactorIndexBytes,
+		setupAttempts:    r.Succeed(0, 0),
 	}, nil
 }
 
@@ -99,6 +118,11 @@ func (s *Solver) SetupTimings() Timings {
 
 // FactorNNZ reports |L| (0 for AMG/Jacobi).
 func (s *Solver) FactorNNZ() int { return s.factorNNZ }
+
+// FactorIndexBytes reports the factor's index-array footprint in bytes
+// (column pointers + row indices) — halved by the compact index modes;
+// 0 for the matrix-free preconditioners.
+func (s *Solver) FactorIndexBytes() int { return s.factorIndexBytes }
 
 // SetupAttempts returns the recovery-ladder trail of NewSolver for the
 // randomized methods: one entry per factorization attempt, failures
@@ -159,9 +183,14 @@ func (s *Solver) solveContext(ctx context.Context, b, x0 []float64) (*Result, er
 	t0 := time.Now()
 	var pres *pcg.Result
 	var err error
-	if x0 == nil {
+	switch {
+	case s.a32 != nil && x0 == nil:
+		pres, err = pcg.SolveOp(s.sys.N(), s.a32.MulVec, b, s.m, popt)
+	case s.a32 != nil:
+		pres, err = pcg.SolveFromOp(s.sys.N(), s.a32.MulVec, b, x0, s.m, popt)
+	case x0 == nil:
 		pres, err = pcg.Solve(s.a, b, s.m, popt)
-	} else {
+	default:
 		pres, err = pcg.SolveFrom(s.a, b, x0, s.m, popt)
 	}
 	res.Timings.Iterate = time.Since(t0)
@@ -183,6 +212,9 @@ func (s *Solver) solveContext(ctx context.Context, b, x0 []float64) (*Result, er
 // extreme eigenvalues after ~30 iterations on the matrices in this
 // repository.
 func (s *Solver) ConditionEstimate(iters int) (float64, error) {
+	if s.a32 != nil {
+		return pcg.ConditionEstimateOp(s.sys.N(), s.a32.MulVec, s.m, iters, s.opt.Seed)
+	}
 	return pcg.ConditionEstimate(s.a, s.m, iters, s.opt.Seed)
 }
 
