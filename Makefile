@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet lint lint-list lint-sarif race fuzz bench bench-json bench-json-smoke cover tables examples clean
+.PHONY: all check build test vet lint lint-list lint-sarif race fuzz soak load bench bench-json bench-json-smoke cover tables examples clean
 
 all: check
 
@@ -70,6 +70,22 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzSplitCSC$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzReadFactor$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDirective$$' -fuzztime=$(FUZZTIME) ./internal/lint/directive
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeSolveRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeSystemRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve
+
+# soak runs the solve-service chaos suite under the race detector with a
+# stretched duration: fault-injected factorizations and preconditioners,
+# cancelled/slow/garbage clients, and overload, with every 200 response
+# checked bitwise against a one-shot Solve referee and a goroutine-leak
+# gate at shutdown. SOAKTIME is per scenario.
+SOAKTIME ?= 10s
+soak:
+	$(GO) test -race -run='^TestSoak' -v -soak=$(SOAKTIME) ./internal/serve
+
+# load is a quick in-process pgload run at 2x admission capacity: watch
+# the shed rate engage while p99 stays bounded.
+load:
+	$(GO) run ./cmd/pgload -clients 16 -duration 5s -nx 48 -ny 48 -max-inflight 4 -max-queue 8
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,152 @@
+package powerrchol
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"powerrchol/internal/rng"
+	"powerrchol/internal/testmat"
+)
+
+// Partial-failure accounting for SolveBatchContext under cancellation:
+// whatever instant the context dies, every right-hand side must be
+// accounted for — a bitwise-correct Result or an error at its index in
+// the BatchError, never silence — and the worker pool must wind down
+// without leaking goroutines. The serve micro-batcher builds directly
+// on this contract.
+
+func batchCancelProblem(t *testing.T, nRHS int) (*Solver, [][]float64) {
+	t.Helper()
+	sys := testmat.GridSDDM(30, 30)
+	solver, err := NewSolver(sys, Options{Method: MethodLTRChol, Seed: 3, Tol: 1e-10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	rhs := make([][]float64, nRHS)
+	for i := range rhs {
+		b := make([]float64, sys.N())
+		for j := range b {
+			b[j] = r.Float64() - 0.5
+		}
+		rhs[i] = b
+	}
+	return solver, rhs
+}
+
+// checkBatchAccounting enforces the invariant on a (results, err) pair:
+// len(results) == len(rhs); a *BatchError has exactly one entry per
+// right-hand side; every index either succeeded (nil error, non-nil
+// bitwise-correct result) or carries an error.
+func checkBatchAccounting(t *testing.T, solver *Solver, rhs [][]float64, results []*Result, err error) (succeeded, cancelled int) {
+	t.Helper()
+	if len(results) != len(rhs) {
+		t.Fatalf("results has %d entries for %d rhs", len(results), len(rhs))
+	}
+	var errs []error
+	if err != nil {
+		var be *BatchError
+		if !errors.As(err, &be) {
+			t.Fatalf("batch error is %T, want *BatchError: %v", err, err)
+		}
+		if len(be.Errs) != len(rhs) {
+			t.Fatalf("BatchError has %d entries for %d rhs", len(be.Errs), len(rhs))
+		}
+		errs = be.Errs
+	} else {
+		errs = make([]error, len(rhs))
+	}
+	for i := range rhs {
+		switch {
+		case errs[i] == nil:
+			if results[i] == nil {
+				t.Fatalf("rhs %d: no error and no result", i)
+			}
+			ref, refErr := solver.Solve(rhs[i])
+			if refErr != nil {
+				t.Fatalf("serial referee %d: %v", i, refErr)
+			}
+			for j := range ref.X {
+				if math.Float64bits(results[i].X[j]) != math.Float64bits(ref.X[j]) {
+					t.Fatalf("rhs %d: X[%d] differs from serial Solve", i, j)
+				}
+			}
+			succeeded++
+		case errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded):
+			cancelled++
+		default:
+			t.Fatalf("rhs %d: unexpected error %v", i, errs[i])
+		}
+	}
+	return succeeded, cancelled
+}
+
+func TestSolveBatchContextMidBatchCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	solver, rhs := batchCancelProblem(t, 64)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var results []*Result
+	var err error
+	go func() {
+		defer close(done)
+		results, err = solver.SolveBatchContext(ctx, rhs)
+	}()
+	// Let a few solves land, then pull the plug mid-batch. (How many
+	// land is scheduler- and race-detector-dependent; the accounting
+	// invariant below holds at whatever instant the cancel arrives.)
+	time.Sleep(8 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SolveBatchContext did not return after cancellation")
+	}
+
+	succeeded, cancelled := checkBatchAccounting(t, solver, rhs, results, err)
+	t.Logf("mid-batch cancel: %d succeeded, %d cancelled", succeeded, cancelled)
+	if succeeded+cancelled != len(rhs) {
+		t.Fatalf("%d+%d accounted of %d", succeeded, cancelled, len(rhs))
+	}
+
+	// The worker pool must be gone: poll until the goroutine count
+	// settles back (the runtime's own goroutines add slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines leaked: %d now vs %d at start", n, base)
+	}
+}
+
+func TestSolveBatchContextPreCancelled(t *testing.T) {
+	solver, rhs := batchCancelProblem(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := solver.SolveBatchContext(ctx, rhs)
+	if err == nil {
+		t.Fatal("pre-cancelled batch returned no error")
+	}
+	succeeded, cancelled := checkBatchAccounting(t, solver, rhs, results, err)
+	if cancelled != len(rhs) || succeeded != 0 {
+		t.Fatalf("pre-cancelled batch: %d succeeded, %d cancelled, want 0/%d", succeeded, cancelled, len(rhs))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, Canceled) false: %v", err)
+	}
+}
+
+func TestSolveBatchContextDeadline(t *testing.T) {
+	solver, rhs := batchCancelProblem(t, 64)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	results, err := solver.SolveBatchContext(ctx, rhs)
+	succeeded, cancelled := checkBatchAccounting(t, solver, rhs, results, err)
+	t.Logf("deadline: %d succeeded, %d deadline-exceeded", succeeded, cancelled)
+}

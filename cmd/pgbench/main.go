@@ -97,6 +97,10 @@ type runResult struct {
 
 	FactorNNZ        int `json:"factor_nnz"`
 	FactorIndexBytes int `json:"factor_index_bytes"`
+	// MemoryBytes is the solver-state footprint (factor values + index
+	// arrays + iteration matrix + solve scratch) — the same number the
+	// pgserved cache budgets prepared solvers by (Solver.MemoryBytes).
+	MemoryBytes int `json:"memory_bytes,omitempty"`
 
 	Allocs        uint64 `json:"allocs"`
 	AllocBytes    uint64 `json:"alloc_bytes"`
@@ -348,6 +352,7 @@ func runOne(p *cases.Problem, mi powerrchol.MethodInfo, mode powerrchol.IndexMod
 	rr.Residual = res.Residual
 	rr.FactorNNZ = res.FactorNNZ
 	rr.FactorIndexBytes = res.FactorIndexBytes
+	rr.MemoryBytes = res.MemoryBytes
 	return rr
 }
 

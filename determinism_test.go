@@ -3,7 +3,6 @@ package powerrchol
 import (
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -83,17 +82,10 @@ func TestSeedStateGolden(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", c.label, err)
 		}
-		h := fnv.New64a()
-		var buf [8]byte
-		for _, x := range res.X {
-			bits := math.Float64bits(x)
-			for i := 0; i < 8; i++ {
-				buf[i] = byte(bits >> (8 * i))
-			}
-			h.Write(buf[:])
-		}
+		// The public fingerprint API is the hash this golden pins: the
+		// same FNV-64a-over-float-bits the pgserved soak referee uses.
 		lines = append(lines, fmt.Sprintf("%s nnz=%d iters=%d xbits=%016x",
-			c.label, res.FactorNNZ, res.Iterations, h.Sum64()))
+			c.label, res.FactorNNZ, res.Iterations, FingerprintVector(res.X)))
 	}
 	got := strings.Join(lines, "\n") + "\n"
 	golden := filepath.Join("testdata", "seedstate.golden")

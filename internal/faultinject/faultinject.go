@@ -75,6 +75,12 @@ type Preconditioner struct {
 	// After is the first Apply call (0-based) to corrupt; earlier calls
 	// pass through untouched.
 	After int
+	// Count bounds the corruption window: only calls in
+	// [After, After+Count) are corrupted, modelling transient numerical
+	// garbage a robust service must ride out and then recover from. 0
+	// means unbounded — every call from After on is corrupted, the
+	// historical behaviour.
+	Count int
 	// Seed drives ModeStagnate's deterministic noise.
 	Seed uint64
 
@@ -89,7 +95,7 @@ func (p *Preconditioner) Calls() int { return int(p.calls.Load()) }
 func (p *Preconditioner) Apply(z, r []float64) {
 	call := int(p.calls.Add(1)) - 1
 	p.Inner.Apply(z, r)
-	if call < p.After {
+	if call < p.After || (p.Count > 0 && call >= p.After+p.Count) {
 		return
 	}
 	switch p.Mode {

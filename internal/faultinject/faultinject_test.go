@@ -80,3 +80,25 @@ func TestStagnateIsDeterministicAndPositive(t *testing.T) {
 		}
 	}
 }
+
+// TestPreconditionerCountWindow: Count bounds the corruption to
+// [After, After+Count) — the transient-garbage model the service soak
+// tests heal from.
+func TestPreconditionerCountWindow(t *testing.T) {
+	r := []float64{1, -2, 3}
+	z := make([]float64, 3)
+	p := &Preconditioner{Inner: pcg.Identity{}, Mode: ModeIndefinite, After: 1, Count: 2}
+	expect := func(call int, corrupted bool) {
+		t.Helper()
+		p.Apply(z, r)
+		got := z[0] == -r[0]
+		if got != corrupted {
+			t.Fatalf("call %d: corrupted=%v, want %v", call, got, corrupted)
+		}
+	}
+	expect(0, false)
+	expect(1, true)
+	expect(2, true)
+	expect(3, false) // window exhausted: the fault is transient
+	expect(4, false)
+}

@@ -55,6 +55,12 @@ var hot = []string{
 // classification.
 var orchestration = []string{
 	"internal/pipeline",
+	// The solve service and its daemon: long-lived concurrency plumbing
+	// (admission gate, micro-batcher, solver cache, drain) where a
+	// goroutine without termination evidence or an un-cancellable loop
+	// is an outage, not a style nit.
+	"internal/serve",
+	"cmd/pgserved",
 }
 
 // randSanctioned lists the packages allowed to import math/rand: only the

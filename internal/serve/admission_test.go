@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(3, 10)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := g.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	// A fourth acquire must queue, not fail: give it a short deadline.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire err = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestGateShedsPastQueueBound(t *testing.T) {
+	g := NewGate(1, 2)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the wait queue with two blocked acquirers.
+	var wg sync.WaitGroup
+	waitCtx, cancelWaiters := context.WithCancel(ctx)
+	defer cancelWaiters()
+	started := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			_ = g.Acquire(waitCtx)
+		}()
+	}
+	<-started
+	<-started
+	// Wait for both waiters to be counted in the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() < 2 {
+		t.Fatalf("queued = %d, want 2", g.Queued())
+	}
+	// The next acquire exceeds maxQueue and is shed without blocking.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-queue acquire err = %v, want ErrOverloaded", err)
+	}
+	cancelWaiters()
+	wg.Wait()
+}
+
+func TestGateRetryAfterBounds(t *testing.T) {
+	g := NewGate(2, 100)
+	if d := g.RetryAfter(); d < time.Second || d > 30*time.Second {
+		t.Fatalf("idle RetryAfter = %v, want within [1s, 30s]", d)
+	}
+}

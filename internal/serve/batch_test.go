@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"powerrchol"
+)
+
+func newTestSolver(t *testing.T) *powerrchol.Solver {
+	t.Helper()
+	sys := testSystem(12, 12)
+	solver, err := powerrchol.NewSolver(sys, testOptions())
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	return solver
+}
+
+func staticKnobs(width int, window time.Duration) func() (int, time.Duration) {
+	return func() (int, time.Duration) { return width, window }
+}
+
+// TestBatcherBitwiseEqualsSolve is the batching contract: answers served
+// through a micro-batch window are bit-for-bit the answers of one-shot
+// solves on the same solver.
+func TestBatcherBitwiseEqualsSolve(t *testing.T) {
+	solver := newTestSolver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bt := NewBatcher(solver, staticKnobs(8, 20*time.Millisecond), nil)
+	bt.Start(ctx)
+	defer bt.Stop()
+
+	const k = 6
+	n := 12 * 12
+	var wg sync.WaitGroup
+	got := make([][]float64, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := bt.Submit(ctx, testRHS(n, uint64(100+i)))
+			if err == nil {
+				got[i] = res.X
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		ref, err := solver.Solve(testRHS(n, uint64(100+i)))
+		if err != nil {
+			t.Fatalf("referee %d: %v", i, err)
+		}
+		for j := range ref.X {
+			if math.Float64bits(got[i][j]) != math.Float64bits(ref.X[j]) {
+				t.Fatalf("request %d: batched X[%d]=%g != one-shot %g", i, j, got[i][j], ref.X[j])
+			}
+		}
+	}
+	if bt.BatchedRHS() != k {
+		t.Fatalf("batched RHS = %d, want %d", bt.BatchedRHS(), k)
+	}
+	if bt.Batches() >= k {
+		t.Logf("no aggregation happened (%d windows for %d requests) — timing-dependent, not fatal", bt.Batches(), k)
+	}
+}
+
+func TestBatcherStopRejectsSubmits(t *testing.T) {
+	solver := newTestSolver(t)
+	ctx := context.Background()
+	bt := NewBatcher(solver, staticKnobs(4, time.Millisecond), nil)
+	bt.Start(ctx)
+	bt.Stop()
+	_, _, err := bt.Submit(ctx, testRHS(12*12, 1))
+	if !errors.Is(err, ErrBatcherStopped) {
+		t.Fatalf("submit after stop = %v, want ErrBatcherStopped", err)
+	}
+	bt.Stop() // idempotent
+}
+
+func TestBatcherPreCancelledMember(t *testing.T) {
+	solver := newTestSolver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bt := NewBatcher(solver, staticKnobs(4, 50*time.Millisecond), nil)
+	bt.Start(ctx)
+	defer bt.Stop()
+
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if _, _, err := bt.Submit(dead, testRHS(12*12, 2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit = %v, want Canceled", err)
+	}
+	// A live request still gets served after the dead one.
+	if _, _, err := bt.Submit(ctx, testRHS(12*12, 3)); err != nil {
+		t.Fatalf("live submit after cancelled one: %v", err)
+	}
+}
+
+// TestBatcherMidBatchCancellation cancels one member while its batch is
+// being collected; the peer must still get its (bitwise-correct) answer.
+func TestBatcherMidBatchCancellation(t *testing.T) {
+	solver := newTestSolver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bt := NewBatcher(solver, staticKnobs(4, 100*time.Millisecond), nil)
+	bt.Start(ctx)
+	defer bt.Stop()
+
+	n := 12 * 12
+	memberCtx, memberCancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var cancelledErr error
+	go func() {
+		defer wg.Done()
+		_, _, cancelledErr = bt.Submit(memberCtx, testRHS(n, 10))
+	}()
+	// Give the first submit time to open the collection window, then
+	// cancel it and submit a second member into the same window.
+	time.Sleep(10 * time.Millisecond)
+	memberCancel()
+	res, _, err := bt.Submit(ctx, testRHS(n, 11))
+	if err != nil {
+		t.Fatalf("surviving member: %v", err)
+	}
+	wg.Wait()
+	if cancelledErr == nil {
+		// The cancelled member may have been answered before the cancel
+		// landed — both outcomes are legal; the invariant is it got
+		// exactly one response and the survivor's answer is right.
+		t.Log("cancelled member was served before cancellation landed")
+	}
+	ref, err := solver.Solve(testRHS(n, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.X {
+		if math.Float64bits(res.X[j]) != math.Float64bits(ref.X[j]) {
+			t.Fatalf("survivor X[%d] differs from one-shot referee", j)
+		}
+	}
+}
+
+func TestBatcherDispatcherDiesWithContext(t *testing.T) {
+	solver := newTestSolver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	bt := NewBatcher(solver, staticKnobs(4, time.Millisecond), nil)
+	bt.Start(ctx)
+	cancel()
+	// After the lifetime ctx ends the dispatcher exits; Stop must not
+	// hang waiting for it.
+	done := make(chan struct{})
+	go func() { bt.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung after lifetime context cancellation")
+	}
+}

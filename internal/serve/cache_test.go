@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePrepared builds a Prepared with no solver — cache behaviour is
+// independent of what the entries hold.
+func fakePrepared() *Prepared { return &Prepared{} }
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*Prepared, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.GetOrBuild(context.Background(), 42, func(context.Context) (*Prepared, int64, error) {
+				builds.Add(1)
+				<-gate
+				return fakePrepared(), 100, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = p
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1 (single-flight)", got)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different instance", i)
+		}
+	}
+	if c.Hits()+c.Misses() != waiters {
+		t.Fatalf("hits+misses = %d, want %d", c.Hits()+c.Misses(), waiters)
+	}
+	if c.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", c.Misses())
+	}
+}
+
+func TestCacheFailedBuildIsRetriable(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	boom := errors.New("factorization breakdown")
+	_, _, err := c.GetOrBuild(context.Background(), 7, func(context.Context) (*Prepared, int64, error) {
+		return nil, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed build left %d entries", c.Len())
+	}
+	p, hit, err := c.GetOrBuild(context.Background(), 7, func(context.Context) (*Prepared, int64, error) {
+		return fakePrepared(), 10, nil
+	})
+	if err != nil || hit || p == nil {
+		t.Fatalf("rebuild: p=%v hit=%v err=%v", p, hit, err)
+	}
+}
+
+func TestCacheEvictsLRUWithinBudget(t *testing.T) {
+	var evicted []*Prepared
+	c := NewCache(250, func(p *Prepared) { evicted = append(evicted, p) })
+	build := func(key uint64) *Prepared {
+		p, _, err := c.GetOrBuild(context.Background(), key, func(context.Context) (*Prepared, int64, error) {
+			return fakePrepared(), 100, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1 := build(1)
+	build(2)
+	// Touch 1 so 2 becomes the LRU victim.
+	if _, hit, _ := c.GetOrBuild(context.Background(), 1, nil); !hit {
+		t.Fatal("expected hit on key 1")
+	}
+	build(3) // 300 bytes > 250: evicts key 2
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", c.Len())
+	}
+	if c.UsedBytes() != 200 {
+		t.Fatalf("used = %d, want 200", c.UsedBytes())
+	}
+	if len(evicted) != 1 {
+		t.Fatalf("evicted %d entries, want 1", len(evicted))
+	}
+	if evicted[0] == p1 {
+		t.Fatal("evicted the recently-touched entry, not the LRU one")
+	}
+	if _, hit, _ := c.GetOrBuild(context.Background(), 1, nil); !hit {
+		t.Fatal("key 1 should have survived")
+	}
+}
+
+func TestCacheAdmitsOversizedNewest(t *testing.T) {
+	c := NewCache(100, nil)
+	p, _, err := c.GetOrBuild(context.Background(), 1, func(context.Context) (*Prepared, int64, error) {
+		return fakePrepared(), 1000, nil
+	})
+	if err != nil || p == nil {
+		t.Fatalf("oversized build rejected: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1 (newest always admitted)", c.Len())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	p, _, _ := c.GetOrBuild(context.Background(), 5, func(context.Context) (*Prepared, int64, error) {
+		return fakePrepared(), 10, nil
+	})
+	// Invalidating with a stale pointer is a no-op.
+	c.Invalidate(5, fakePrepared())
+	if c.Len() != 1 {
+		t.Fatal("stale invalidate removed a live entry")
+	}
+	c.Invalidate(5, p)
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatalf("invalidate left len=%d used=%d", c.Len(), c.UsedBytes())
+	}
+}
+
+func TestCacheShedToAndClear(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	for key := uint64(1); key <= 4; key++ {
+		_, _, err := c.GetOrBuild(context.Background(), key, func(context.Context) (*Prepared, int64, error) {
+			return fakePrepared(), 100, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.ShedTo(200)
+	if c.UsedBytes() > 200 {
+		t.Fatalf("used = %d after ShedTo(200)", c.UsedBytes())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatalf("Clear left len=%d used=%d", c.Len(), c.UsedBytes())
+	}
+}
+
+func TestCacheCancelledWaiter(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.GetOrBuild(context.Background(), 9, func(context.Context) (*Prepared, int64, error) {
+			<-gate
+			return fakePrepared(), 10, nil
+		})
+	}()
+	// Wait until the builder has registered the entry.
+	for c.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrBuild(ctx, 9, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(gate)
+	<-done
+}

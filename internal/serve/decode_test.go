@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecodeSolveRequestDense(t *testing.T) {
+	req, err := DecodeSolveRequest(strings.NewReader(`{"grid":"ab12","b":[1,2,3]}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := req.RHS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Fatalf("b = %v", b)
+	}
+	if _, err := req.RHS(4); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDecodeSolveRequestSparse(t *testing.T) {
+	req, err := DecodeSolveRequest(strings.NewReader(`{"grid":"1","nodes":[0,2,0],"values":[1,5,2]}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := req.RHS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 3 || b[1] != 0 || b[2] != 5 {
+		t.Fatalf("sparse RHS = %v, want [3 0 5] (duplicates accumulate)", b)
+	}
+	if _, err := req.RHS(2); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestDecodeSolveRequestRejects(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"missing grid", `{"b":[1]}`},
+		{"bad fingerprint", `{"grid":"xyzzy!","b":[1]}`},
+		{"fingerprint too long", `{"grid":"00000000000000000","b":[1]}`},
+		{"no rhs", `{"grid":"1"}`},
+		{"both rhs forms", `{"grid":"1","b":[1],"nodes":[0],"values":[1]}`},
+		{"length mismatch", `{"grid":"1","nodes":[0,1],"values":[1]}`},
+		{"negative node", `{"grid":"1","nodes":[-1],"values":[1]}`},
+		{"overflowing b", `{"grid":"1","b":[1e999]}`},
+		{"unknown field", `{"grid":"1","b":[1],"bogus":true}`},
+		{"trailing garbage", `{"grid":"1","b":[1]} extra`},
+		{"negative timeout", `{"grid":"1","b":[1],"timeout_ms":-5}`},
+		{"negative return", `{"grid":"1","b":[1],"return":[-2]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeSolveRequest(strings.NewReader(tc.body), 1<<20); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDecodeSolveRequestSizeLimit(t *testing.T) {
+	body := `{"grid":"1","b":[1,2,3,4,5,6,7,8]}`
+	if _, err := DecodeSolveRequest(strings.NewReader(body), int64(len(body))); err != nil {
+		t.Fatalf("body exactly at limit rejected: %v", err)
+	}
+	_, err := DecodeSolveRequest(strings.NewReader(body), int64(len(body))-1)
+	if !errors.Is(err, ErrRequestTooLarge) {
+		t.Fatalf("oversized body err = %v, want ErrRequestTooLarge", err)
+	}
+}
+
+func TestDecodeSystemRequest(t *testing.T) {
+	sys, err := DecodeSystemRequest(strings.NewReader(
+		`{"n":3,"edges":[[0,1,2.0],[1,2,1.5]],"d":[0.1,0,0]}`), 1<<20, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 3 || sys.G.M() != 2 {
+		t.Fatalf("n=%d m=%d", sys.N(), sys.G.M())
+	}
+	if sys.D[0] != 0.1 {
+		t.Fatalf("D = %v", sys.D)
+	}
+}
+
+func TestDecodeSystemRequestRejects(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"zero n", `{"n":0,"edges":[]}`},
+		{"declared n over cap", `{"n":1000000000,"edges":[]}`},
+		{"self loop", `{"n":2,"edges":[[0,0,1]]}`},
+		{"out of range", `{"n":2,"edges":[[0,5,1]]}`},
+		{"fractional endpoint", `{"n":2,"edges":[[0.5,1,1]]}`},
+		{"zero weight", `{"n":2,"edges":[[0,1,0]]}`},
+		{"negative weight", `{"n":2,"edges":[[0,1,-1]]}`},
+		{"d length mismatch", `{"n":3,"edges":[[0,1,1]],"d":[1]}`},
+		{"negative d", `{"n":2,"edges":[[0,1,1]],"d":[-1,0]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeSystemRequest(strings.NewReader(tc.body), 1<<20, 100); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestDecodeSystemRequestDeclaredSizeIsCapped is the OOM-hardening
+// property: a tiny body declaring a huge n must be rejected by the
+// maxNodes cap before any size-n allocation.
+func TestDecodeSystemRequestDeclaredSizeIsCapped(t *testing.T) {
+	_, err := DecodeSystemRequest(strings.NewReader(`{"n":1073741824,"edges":[]}`), 1<<20, 1<<20)
+	if err == nil {
+		t.Fatal("gigantic declared n accepted")
+	}
+}
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	for _, fp := range []uint64{0, 1, 0xdeadbeef, math.MaxUint64} {
+		got, err := ParseFingerprint(FormatFingerprint(fp))
+		if err != nil || got != fp {
+			t.Fatalf("round trip %x: got %x err %v", fp, got, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"powerrchol"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/rng"
+	"powerrchol/internal/testmat"
+)
+
+// Shared helpers for the serve test suite.
+
+// testSystem builds a small 2D power-grid SDDM with ground pads.
+func testSystem(nx, ny int) *graph.SDDM {
+	sys := testmat.GridSDDM(nx, ny)
+	return sys
+}
+
+// testRHS builds a deterministic right-hand side of length n.
+func testRHS(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64() - 0.5
+	}
+	return b
+}
+
+func testOptions() powerrchol.Options {
+	return powerrchol.Options{Method: powerrchol.MethodLTRChol, Seed: 7, Tol: 1e-10}
+}
+
+// newTestServer builds a server + httptest wrapper and registers cleanup
+// that drains it and asserts goroutine hygiene.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := New(ctx, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := s.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		cancel()
+	})
+	return s, ts
+}
+
+// waitGoroutines polls until the goroutine count settles back to at most
+// base+slack, failing the test if it never does. runtime.NumGoroutine is
+// inherently racy with the runtime's own background goroutines, so the
+// check is a bounded settle, not an instantaneous equality.
+func waitGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d now vs %d at start (+%d slack)", n, base, slack)
+}

@@ -217,19 +217,24 @@ type Options struct {
 	// recovery (single attempt — today's behaviour); see RetryPolicy.
 	Retry RetryPolicy
 
-	// hooks intercepts the per-attempt pipeline for deterministic fault
-	// injection. Settable only from tests in this package (recovery
-	// tests wire in internal/faultinject here); always nil in production.
-	hooks *faultHooks
+	// Hooks intercepts the per-attempt setup pipeline for deterministic
+	// fault injection; always nil in production. See FaultHooks for the
+	// sealing contract.
+	Hooks *FaultHooks
 }
 
-// faultHooks intercepts each recovery attempt, for deterministic fault
-// injection in tests (see internal/faultinject and recovery_test.go).
-type faultHooks struct {
-	// factorOpts rewrites the core factorization options of an attempt.
-	factorOpts func(attempt int, o core.Options) core.Options
-	// wrapPrecond wraps the preconditioner built by an attempt.
-	wrapPrecond func(attempt int, m pcg.Preconditioner) pcg.Preconditioner
+// FaultHooks intercepts each setup attempt for deterministic fault
+// injection (internal/faultinject drives these in the recovery and
+// service soak suites). The hook signatures name internal packages, so
+// only this module's own code can populate a non-zero value — the field
+// is exported solely so the chaos tests outside this package (the
+// pgserved soak in internal/serve) can walk faults through a running
+// service. Production callers leave Options.Hooks nil.
+type FaultHooks struct {
+	// FactorOpts rewrites the core factorization options of an attempt.
+	FactorOpts func(attempt int, o core.Options) core.Options
+	// WrapPrecond wraps the preconditioner built by an attempt.
+	WrapPrecond func(attempt int, m pcg.Preconditioner) pcg.Preconditioner
 }
 
 // Detection defaults used while recovery is enabled: PCG must halve its
@@ -293,9 +298,9 @@ func (o Options) pipelineConfig(prepared bool) pipeline.Config {
 		Retry:        o.Retry,
 		Prepared:     prepared,
 	}
-	if o.hooks != nil {
-		cfg.FactorOpts = o.hooks.factorOpts
-		cfg.WrapPrecond = o.hooks.wrapPrecond
+	if o.Hooks != nil {
+		cfg.FactorOpts = o.Hooks.FactorOpts
+		cfg.WrapPrecond = o.Hooks.WrapPrecond
 	}
 	return cfg
 }
@@ -340,7 +345,13 @@ type Result struct {
 	// (column pointers + row indices) — halved by the compact index
 	// modes; 0 for the matrix-free preconditioners.
 	FactorIndexBytes int
-	Timings          Timings
+	// MemoryBytes estimates the solver-state footprint of this solve:
+	// factor values + indices, iteration-matrix storage and solve
+	// scratch, by the same formula Solver.MemoryBytes uses — so the
+	// pgbench trajectory reports the number the pgserved cache budgets
+	// against. 0 when the solve never assembled an iteration matrix.
+	MemoryBytes int
+	Timings     Timings
 	// BestIteration is the iteration that produced X. It equals
 	// Iterations on converged runs; on capped, stagnated or cancelled
 	// runs X is the best iterate seen, not the last.
@@ -433,7 +444,9 @@ func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b [
 
 		if setup.Exact {
 			// Complete factorization of the iterated system: one apply is
-			// the solve, no iteration phase.
+			// the solve, no iteration phase (and no assembled iteration
+			// matrix in the footprint).
+			res.MemoryBytes = solverMemoryBytes(setup.Sys.N(), 0, 0, setup.FactorNNZ, setup.FactorIndexBytes)
 			t0 := time.Now()
 			x := make([]float64, setup.Sys.N())
 			setup.M.Apply(x, rhs)
@@ -453,10 +466,11 @@ func solvePipeline(ctx context.Context, r *pipeline.Runner, sys *graph.SDDM, b [
 		// iteration; with Workers > 1 the product runs row-parallel over a
 		// CSR copy, and under a compact index mode the matrix drops to
 		// int32 indices (bitwise-identical products).
-		mul, merr := iterationMul(setup.Sys.ToCSC(), opt)
+		mul, matNNZ, matIdxBytes, merr := iterationMul(setup.Sys.ToCSC(), opt)
 		if merr != nil {
 			return nil, merr
 		}
+		res.MemoryBytes = solverMemoryBytes(setup.Sys.N(), matNNZ, matIdxBytes, setup.FactorNNZ, setup.FactorIndexBytes)
 		pres, perr := pcg.SolveOp(setup.Sys.N(), mul, rhs, setup.M, opt.pcgOptions(ctx, opt.Workers))
 		res.Timings.Iterate = time.Since(t0)
 		if pres != nil {
@@ -496,11 +510,22 @@ func ctxDone(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// solverMemoryBytes is the one formula behind both Solver.MemoryBytes
+// and Result.MemoryBytes: float64 values of the iteration matrix and the
+// factor (8 bytes each), their index arrays as actually stored, plus a
+// scratch estimate — the n-length work vectors one solve draws (PCG's
+// x/r/z/p/Ap and the factor Apply's pooled buffer).
+func solverMemoryBytes(n, matNNZ, matIndexBytes, factorNNZ, factorIndexBytes int) int {
+	const scratchVectors = 6
+	return 8*(matNNZ+factorNNZ) + matIndexBytes + factorIndexBytes + scratchVectors*8*n
+}
+
 // iterationMul builds the SpMV closure the iteration phase multiplies
-// with, honoring the index-mode and worker settings. Compact and wide
-// operators are bitwise identical; an overflowing IndexCompact request
-// is the only error.
-func iterationMul(a *sparse.CSC, opt Options) (func(y, x []float64), error) {
+// with, honoring the index-mode and worker settings, and reports the
+// entry count and index bytes of the storage it settled on (feeding the
+// Result.MemoryBytes estimate). Compact and wide operators are bitwise
+// identical; an overflowing IndexCompact request is the only error.
+func iterationMul(a *sparse.CSC, opt Options) (func(y, x []float64), int, int, error) {
 	if opt.CompactIndex != IndexWide {
 		a32, err := sparse.CompactCSC(a)
 		switch {
@@ -508,20 +533,20 @@ func iterationMul(a *sparse.CSC, opt Options) (func(y, x []float64), error) {
 			if opt.Workers > 1 {
 				csr := a32.ToCSR()
 				workers := opt.Workers
-				return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, nil
+				return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, a32.NNZ(), a32.IndexBytes(), nil
 			}
-			return a32.MulVec, nil
+			return a32.MulVec, a32.NNZ(), a32.IndexBytes(), nil
 		case opt.CompactIndex == IndexCompact:
-			return nil, err
+			return nil, 0, 0, err
 		}
 		// IndexAuto past the boundary: fall through to wide storage.
 	}
 	if opt.Workers > 1 {
 		csr := a.ToCSR()
 		workers := opt.Workers
-		return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, nil
+		return func(y, x []float64) { csr.MulVecParallel(y, x, workers) }, a.NNZ(), a.IndexBytes(), nil
 	}
-	return a.MulVec, nil
+	return a.MulVec, a.NNZ(), a.IndexBytes(), nil
 }
 
 // notConverged builds the typed iteration-cap error for a populated

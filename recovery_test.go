@@ -33,9 +33,9 @@ func retryOpt() Options {
 }
 
 // failFirstFactor injects a factorization fault into attempt 0 only.
-func failFirstFactor(perturb func(int, float64) float64) *faultHooks {
-	return &faultHooks{
-		factorOpts: func(attempt int, o core.Options) core.Options {
+func failFirstFactor(perturb func(int, float64) float64) *FaultHooks {
+	return &FaultHooks{
+		FactorOpts: func(attempt int, o core.Options) core.Options {
 			if attempt == 0 {
 				o.PivotPerturb = perturb
 			}
@@ -45,13 +45,13 @@ func failFirstFactor(perturb func(int, float64) float64) *faultHooks {
 }
 
 // failPrecond injects a preconditioner fault into the given attempts.
-func failPrecond(mode faultinject.Mode, attempts ...int) *faultHooks {
+func failPrecond(mode faultinject.Mode, attempts ...int) *FaultHooks {
 	bad := make(map[int]bool, len(attempts))
 	for _, a := range attempts {
 		bad[a] = true
 	}
-	return &faultHooks{
-		wrapPrecond: func(attempt int, m pcg.Preconditioner) pcg.Preconditioner {
+	return &FaultHooks{
+		WrapPrecond: func(attempt int, m pcg.Preconditioner) pcg.Preconditioner {
 			if !bad[attempt] {
 				return m
 			}
@@ -92,7 +92,7 @@ func checkRecovered(t *testing.T, res *Result, err error, wantFailures int, want
 func TestRecoveryFromInjectedBreakdown(t *testing.T) {
 	s, b, want := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failFirstFactor(faultinject.NegativePivot(100))
+	opt.Hooks = failFirstFactor(faultinject.NegativePivot(100))
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 1, "pivot")
 	for i := range want {
@@ -105,7 +105,7 @@ func TestRecoveryFromInjectedBreakdown(t *testing.T) {
 func TestRecoveryFromInjectedNaNPivot(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failFirstFactor(faultinject.NaNPivot(50))
+	opt.Hooks = failFirstFactor(faultinject.NaNPivot(50))
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 1, "pivot NaN")
 }
@@ -113,7 +113,7 @@ func TestRecoveryFromInjectedNaNPivot(t *testing.T) {
 func TestRecoveryFromInjectedIndefiniteness(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failPrecond(faultinject.ModeIndefinite, 0)
+	opt.Hooks = failPrecond(faultinject.ModeIndefinite, 0)
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 1, "positive definite")
 }
@@ -121,7 +121,7 @@ func TestRecoveryFromInjectedIndefiniteness(t *testing.T) {
 func TestRecoveryFromInjectedNaNPropagation(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failPrecond(faultinject.ModeNaN, 0)
+	opt.Hooks = failPrecond(faultinject.ModeNaN, 0)
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 1, "positive definite")
 }
@@ -129,7 +129,7 @@ func TestRecoveryFromInjectedNaNPropagation(t *testing.T) {
 func TestRecoveryFromInjectedStagnation(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failPrecond(faultinject.ModeStagnate, 0)
+	opt.Hooks = failPrecond(faultinject.ModeStagnate, 0)
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 1, "stagnated")
 	if res.Attempts[0].Iterations == 0 {
@@ -144,7 +144,7 @@ func TestEscalationReachesDirect(t *testing.T) {
 	s, b, want := testProblem(t)
 	opt := retryOpt()
 	opt.Retry.MaxAttempts = 4
-	opt.hooks = failPrecond(faultinject.ModeIndefinite, 0, 1, 2)
+	opt.Hooks = failPrecond(faultinject.ModeIndefinite, 0, 1, 2)
 	res, err := Solve(s, b, opt)
 	checkRecovered(t, res, err, 3, "positive definite")
 	last := res.Attempts[len(res.Attempts)-1]
@@ -171,7 +171,7 @@ func TestRecoveryExhaustion(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
 	opt.Retry = RetryPolicy{MaxAttempts: 2} // no escalation: two reseeds, both sabotaged
-	opt.hooks = failPrecond(faultinject.ModeIndefinite, 0, 1)
+	opt.Hooks = failPrecond(faultinject.ModeIndefinite, 0, 1)
 	_, err := Solve(s, b, opt)
 	var se *SolveError
 	if !errors.As(err, &se) {
@@ -190,7 +190,7 @@ func TestRecoveryExhaustion(t *testing.T) {
 func TestSetupRecoveryInNewSolver(t *testing.T) {
 	s, b, _ := testProblem(t)
 	opt := retryOpt()
-	opt.hooks = failFirstFactor(faultinject.NegativePivot(10))
+	opt.Hooks = failFirstFactor(faultinject.NegativePivot(10))
 	solver, err := NewSolver(s, opt)
 	if err != nil {
 		t.Fatalf("NewSolver did not recover: %v", err)

@@ -51,6 +51,7 @@ type Solver struct {
 	factorNNZ        int
 	factorIndexBytes int
 	setupAttempts    []Attempt
+	fingerprint      uint64
 }
 
 // NewSolver validates the system and builds the preconditioner for the
@@ -108,6 +109,7 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 		factorNNZ:        setup.FactorNNZ,
 		factorIndexBytes: setup.FactorIndexBytes,
 		setupAttempts:    r.Succeed(0, 0),
+		fingerprint:      Fingerprint(sys, opt),
 	}, nil
 }
 
@@ -123,6 +125,26 @@ func (s *Solver) FactorNNZ() int { return s.factorNNZ }
 // (column pointers + row indices) — halved by the compact index modes;
 // 0 for the matrix-free preconditioners.
 func (s *Solver) FactorIndexBytes() int { return s.factorIndexBytes }
+
+// MemoryBytes reports the retained footprint of the prepared solver in
+// bytes: factor values and index arrays, the assembled iteration matrix
+// (values plus indices), and the scratch vectors one solve draws from the
+// shared pools. It is the eviction weight of the pgserved prepared-factor
+// cache and the memory_bytes column of the pgbench trajectory — one
+// formula (solverMemoryBytes) for both, so the budget the service
+// enforces is the number the benchmarks report. Matrix-free
+// preconditioners (AMG, Jacobi, SSOR) contribute only their iteration
+// matrix and scratch; their hierarchy/diagonal storage is not counted.
+func (s *Solver) MemoryBytes() int {
+	matNNZ, matIdx := 0, 0
+	switch {
+	case s.a32 != nil:
+		matNNZ, matIdx = s.a32.NNZ(), s.a32.IndexBytes()
+	case s.a != nil:
+		matNNZ, matIdx = s.a.NNZ(), s.a.IndexBytes()
+	}
+	return solverMemoryBytes(s.sys.N(), matNNZ, matIdx, s.factorNNZ, s.factorIndexBytes)
+}
 
 // SetupAttempts returns the recovery-ladder trail of NewSolver for the
 // randomized methods: one entry per factorization attempt, failures
