@@ -10,10 +10,14 @@
 //
 // The usual entry points are `make lint` (vettool mode over ./...) and
 // `make lint-sarif` (driver mode; CI uploads the log to code scanning).
-// It runs the nine analyzers of internal/lint — bannedimport, maprange,
-// floateq, poolleak, errwrapcheck, ctxflow, hotalloc, goroleak,
-// poolescape — with findings suppressed only by per-line
-// //pglint:<name> <reason> annotations. See DESIGN.md §9.
+// It runs the thirteen analyzers of internal/lint — bannedimport,
+// maprange, floateq, poolleak, errwrapcheck, ctxflow, hotalloc,
+// goroleak, poolescape, lockcheck, atomicmix, detflow, sendblock — with
+// findings suppressed only by per-line //pglint:<name> <reason>
+// annotations. The concurrency/determinism analyzers exchange
+// cross-package function summaries as analysis facts, which `go vet`
+// serializes per package and feeds to dependents automatically. See
+// DESIGN.md §9.
 package main
 
 import (

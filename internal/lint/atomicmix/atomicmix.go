@@ -1,0 +1,242 @@
+// Package atomicmix forbids mixing sync/atomic and plain access to one
+// struct field.
+//
+// A field updated through atomic.AddInt64/LoadUint32/StorePointer/...
+// anywhere is part of a lock-free protocol: every other access must go
+// through sync/atomic too, or the happens-before edges the protocol
+// relies on silently disappear. The race detector only catches the mix
+// when a test happens to schedule both sides; this analyzer catches it
+// statically, across packages — the atomically-accessed field set of
+// each package is exported as a fact, so a plain read in an importing
+// package of a counter that internal/serve bumps atomically is still a
+// finding.
+//
+// Construction is exempt (a composite literal or new() runs before the
+// value is shared), as are fields of the typed atomic.Int64/Uint64/...
+// wrappers, which make plain access unrepresentable — migrating to them
+// is the recommended fix. //pglint:atomicmix <reason> suppresses a
+// finding that is fenced by other means (e.g. a read after
+// WaitGroup.Wait).
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = "atomicmix"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "a struct field accessed through sync/atomic anywhere must never be read or written plainly elsewhere",
+	FactTypes: []analysis.Fact{new(AtomicFields)},
+	Run:       run,
+}
+
+// AtomicFields is the package fact: which fields this package accesses
+// atomically, keyed by "TypeName.FieldName" within the fact's package,
+// with one example site for diagnostics.
+type AtomicFields struct {
+	Fields []AtomicField
+}
+
+// An AtomicField is one atomically-accessed field.
+type AtomicField struct {
+	Key string // "TypeName.FieldName"
+	At  string // example atomic access site, "file.go:line"
+}
+
+// AFact marks AtomicFields as an analysis fact.
+func (*AtomicFields) AFact() {}
+
+func (f *AtomicFields) String() string {
+	keys := make([]string, len(f.Fields))
+	for i, af := range f.Fields {
+		keys[i] = af.Key
+	}
+	return "atomic(" + strings.Join(keys, ",") + ")"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+
+	// Phase 1: find every atomic access in this package and the selector
+	// expressions that perform it (those are not "plain" accesses).
+	atomicUse := map[*ast.SelectorExpr]bool{}
+	atomic := map[*types.Var]string{} // field -> example site
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+				if !ok || !field.IsField() {
+					continue
+				}
+				atomicUse[sel] = true
+				if _, seen := atomic[field]; !seen {
+					p := pass.Fset.Position(sel.Pos())
+					atomic[field] = fmt.Sprintf("%s:%d", base(p.Filename), p.Line)
+				}
+			}
+			return true
+		})
+	}
+
+	// Export this package's contribution before checking, so importers
+	// see it even when this package is internally clean.
+	ownFact := &AtomicFields{}
+	for field, at := range atomic {
+		if field.Pkg() == pass.Pkg {
+			ownFact.Fields = append(ownFact.Fields, AtomicField{Key: fieldKey(field), At: at})
+		}
+	}
+	sort.Slice(ownFact.Fields, func(i, j int) bool { return ownFact.Fields[i].Key < ownFact.Fields[j].Key })
+	if len(ownFact.Fields) > 0 {
+		pass.ExportPackageFact(ownFact)
+	}
+
+	// Phase 2: every other selector of an atomic field is a plain access.
+	// The atomic set is this package's findings plus every imported
+	// package's fact.
+	imported := map[*types.Package]map[string]string{}
+	lookup := func(field *types.Var) (string, bool) {
+		if at, ok := atomic[field]; ok {
+			return at, true
+		}
+		pkg := field.Pkg()
+		if pkg == nil || pkg == pass.Pkg {
+			return "", false
+		}
+		m, ok := imported[pkg]
+		if !ok {
+			m = nil
+			var fact AtomicFields
+			if pass.ImportPackageFact(pkg, &fact) {
+				m = make(map[string]string, len(fact.Fields))
+				for _, af := range fact.Fields {
+					m[af.Key] = af.At
+				}
+			}
+			imported[pkg] = m
+		}
+		at, ok := m[fieldKey(field)]
+		return at, ok
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Composite-literal keys construct, they do not access.
+		litKey := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							litKey[id] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUse[sel] {
+				return true
+			}
+			field, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || !field.IsField() || litKey[sel.Sel] {
+				return true
+			}
+			at, isAtomic := lookup(field)
+			if !isAtomic {
+				return true
+			}
+			if _, allowed := dirs.Allow(sel.Pos(), DirectiveName); allowed {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is accessed atomically (e.g. at %s) but plainly here; use sync/atomic for every access or migrate the field to atomic.Int64-style types (or annotate //pglint:%s <reason>)",
+				fieldKey(field), at, DirectiveName)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall matches the address-taking functions of sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldKey names a field within its package: "TypeName.FieldName". The
+// enclosing named type is recovered from the field's parent struct via
+// the package scope; fields of anonymous structs fall back to the bare
+// field name (no cross-package access is possible for those anyway).
+func fieldKey(field *types.Var) string {
+	pkg := field.Pkg()
+	if pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					return name + "." + field.Name()
+				}
+			}
+		}
+	}
+	return field.Name()
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/atomicmix"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), atomicmix.Analyzer,
+		"example.com/internal/core",
+		"example.com/internal/dep",
+	)
+}

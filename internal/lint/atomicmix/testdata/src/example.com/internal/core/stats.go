@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"example.com/internal/dep"
+)
+
+type stats struct {
+	hits   int64
+	misses int64
+	name   string
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// snapshot reads hits plainly — the mix this analyzer exists for.
+func (s *stats) snapshot() int64 {
+	return s.hits // want `field stats\.hits is accessed atomically \(e\.g\. at stats\.go:\d+\) but plainly here`
+}
+
+// reset writes plainly; same defect on the store side.
+func (s *stats) reset() {
+	s.hits = 0 // want `field stats\.hits is accessed atomically`
+	atomic.StoreInt64(&s.misses, 0)
+}
+
+// Construction is not an access: the value is not shared yet.
+func newStats(name string) *stats {
+	return &stats{hits: 0, misses: 0, name: name}
+}
+
+// name is never touched atomically; plain access is fine.
+func (s *stats) label() string { return s.name }
+
+// crossRead reads dep.Counter.N plainly; only the imported fact makes
+// this visible.
+func crossRead(c *dep.Counter) int64 {
+	return c.N // want `field Counter\.N is accessed atomically \(e\.g\. at dep\.go:\d+\) but plainly here`
+}
+
+// typed is the recommended shape: atomic.Int64 cannot be mixed.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() { t.n.Add(1) }
+func (t *typed) read() int64 {
+	return t.n.Load()
+}
+
+// fenced shows the directive: a read fenced by a barrier elsewhere.
+type fenced struct {
+	wg sync.WaitGroup
+	n  int64
+}
+
+func (f *fenced) add() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		atomic.AddInt64(&f.n, 1)
+	}()
+}
+
+func (f *fenced) total() int64 {
+	f.wg.Wait()
+	//pglint:atomicmix every writer has Done()d before Wait returns
+	return f.n
+}

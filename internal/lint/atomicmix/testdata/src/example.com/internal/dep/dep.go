@@ -1,0 +1,20 @@
+// Package dep bumps an exported counter atomically; the fact must make
+// plain reads in importing packages a finding.
+package dep
+
+import "sync/atomic"
+
+// Counter is a lock-free hit counter.
+type Counter struct {
+	N int64
+}
+
+// Inc is the only sanctioned way to touch N.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.N, 1)
+}
+
+// Value reads through the protocol.
+func (c *Counter) Value() int64 {
+	return atomic.LoadInt64(&c.N)
+}

@@ -1,0 +1,84 @@
+// Package detflow is the determinism-taint analyzer: values influenced
+// by map-iteration order, unsynchronized shared accumulation, or
+// ambient (non-internal/rng) randomness must not flow into float
+// results, Result fields, or anything feeding a Fingerprint.
+//
+// The paper's contract is that factors and solves are bitwise
+// replayable per seed. maprange already bans raw map iteration in the
+// numeric kernels wholesale; detflow sharpens that rule into a flow
+// property and extends it to the orchestration layer and the module-root
+// API: iteration order (or goroutine interleaving, or an unseeded rng)
+// may exist, but the moment it perturbs a float that a caller, a Result
+// struct, or the fingerprint referee can observe, it is a finding.
+//
+// The transfer rules and the taint lattice live in
+// ssalite/summary (AnalyzeTaint), which also exports each function's
+// TaintedResults bit as a package fact — so a tainted helper in
+// internal/graph taints the internal/chol caller that returns its
+// value, across the package boundary.
+//
+// Scope: policy.Deterministic packages (numeric ∪ orchestration ∪
+// module root). Suppression: //pglint:detflow <reason>; a map walk
+// already sanctioned with //pglint:ordered-irrelevant is honored here
+// for the same claim.
+package detflow
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+	"powerrchol/internal/lint/ssalite"
+	"powerrchol/internal/lint/ssalite/summary"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = summary.DetflowDirective
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "detflow",
+	Doc:      "determinism taint: map-iteration order, unsynchronized accumulation, and ambient randomness must not reach float results, Result fields, or Fingerprint inputs",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer, summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	if !policy.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+	ix := pass.ResultOf[summary.Analyzer].(*summary.Index)
+
+	calleeTainted := func(fn *types.Func) (string, bool) {
+		s, ok := ix.Lookup(fn)
+		if !ok || !s.TaintedResults {
+			return "", false
+		}
+		return s.TaintReason, true
+	}
+	sanctioned := func(pos token.Pos) bool {
+		if _, ok := dirs.Allow(pos, DirectiveName); ok {
+			return true
+		}
+		_, ok := dirs.Allow(pos, summary.MaprangeDirective)
+		return ok
+	}
+
+	for _, fn := range prog.Funcs {
+		if strings.HasSuffix(pass.Fset.Position(fn.Body.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ti := summary.AnalyzeTaint(pass, fn, calleeTainted, sanctioned)
+		for _, f := range ti.Findings {
+			pass.Reportf(f.Pos, "determinism-tainted value reaches %s: %s; make the flow order-independent (sort keys, reduce pairwise, take the seed from internal/rng) or annotate //pglint:%s <reason>",
+				f.Sink, f.Reason, DirectiveName)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,14 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/detflow"
+	"powerrchol/internal/lint/linttest"
+)
+
+func TestDetflow(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), detflow.Analyzer,
+		"example.com/internal/core",
+	)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+
+	"example.com/internal/dep"
+)
+
+// Result mirrors the solver's result types: float fields carry the
+// reproducibility contract.
+type Result struct {
+	Norm float64
+	Iter int
+}
+
+// sumWeights folds a map in iteration order straight into its result.
+func sumWeights(w map[int]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	return total // want `determinism-tainted value reaches float result`
+}
+
+// fill launders the tainted sum through a Result field.
+func fill(r *Result, m map[string]float64) {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	r.Norm = s // want `determinism-tainted value reaches field Norm of Result`
+}
+
+// jitter returns ambient randomness: unreproducible by construction.
+func jitter() float64 {
+	return rand.Float64() // want `determinism-tainted value reaches float result.*ambient randomness`
+}
+
+// Fingerprint stands in for the repo's reproducibility referee.
+func Fingerprint(vals ...float64) uint64 {
+	return uint64(len(vals))
+}
+
+// badFingerprint hashes an order-dependent value.
+func badFingerprint(m map[int]float64) uint64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return Fingerprint(t) // want `determinism-tainted value reaches argument to Fingerprint`
+}
+
+// parSum races goroutine interleavings into the rounding of sum.
+func parSum(xs, ys []float64) float64 {
+	sum := 0.0
+	done := make(chan struct{}, 2)
+	go func() {
+		for _, x := range xs {
+			sum += x // want `determinism-tainted value reaches a float accumulator shared across goroutines`
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		for _, y := range ys {
+			sum += y // want `determinism-tainted value reaches a float accumulator shared across goroutines`
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	return sum // want `determinism-tainted value reaches float result`
+}
+
+// viaDep imports its taint: dep.SumMap's fact says its results depend
+// on map order.
+func viaDep(m map[string]float64) float64 {
+	return dep.SumMap(m) // want `determinism-tainted value reaches float result.*calls SumMap`
+}

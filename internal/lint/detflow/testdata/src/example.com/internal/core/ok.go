@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sort"
+
+	"example.com/internal/rng"
+)
+
+// The sanctioned shapes: none of these may be reported.
+
+// sumSorted fixes the order before accumulating.
+func sumSorted(w map[int]float64) float64 {
+	keys := make([]int, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+// seededJitter draws from the seeded stream: replayable, not ambient.
+func seededJitter(seed uint64) float64 {
+	src := rng.New(seed)
+	return src.Float64()
+}
+
+// countEntries accumulates only exact values; the directive records the
+// argument.
+func countEntries(m map[int]float64) float64 {
+	n := 0.0
+	//pglint:detflow summing 1.0s is exact in float64 far below 2^53
+	for range m {
+		n += 1
+	}
+	return n
+}
+
+// histTotal reuses maprange's ordered-irrelevant sanction: one claim,
+// honored by both analyzers.
+func histTotal(buckets map[string]float64) float64 {
+	t := 0.0
+	//pglint:ordered-irrelevant bucket counts are integer-valued; addition is exact
+	for _, v := range buckets {
+		t += v
+	}
+	return t
+}
+
+// reassigned shows the strong update: taint cleared by a clean write.
+func reassigned(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	s = 0
+	return s
+}

@@ -1,0 +1,13 @@
+// Package dep holds a map-order-tainted helper; only the exported
+// summary fact lets detflow see the taint from an importing package.
+package dep
+
+// SumMap folds a map in iteration order — its result depends on the
+// (randomized) order, so the TaintedResults fact must be exported.
+func SumMap(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,24 @@
+// Package rng mirrors the repo's seeded generator: randomness derived
+// from a caller-supplied seed is replayable and therefore NOT a
+// determinism taint source.
+package rng
+
+// Source is a tiny splitmix64-style seeded stream.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream fully determined by seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Float64 advances the stream deterministically.
+func (s *Source) Float64() float64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -15,7 +15,10 @@
 // A single comment may carry several directives back to back —
 // //pglint:a <reason> //pglint:b <reason> — when one line trips more than
 // one analyzer; each directive's reason runs up to the next //pglint:
-// marker. A directive whose name matches no registered analyzer is dead
+// marker. When one justification covers several analyzers, the names may
+// be comma-separated in a single directive — //pglint:a,b <reason> —
+// which parses to one Directive per name, all sharing the reason. A
+// directive whose name matches no registered analyzer is dead
 // weight and is reported by the suite (see ReportUnknown): it suppresses
 // nothing, and silently keeping it around hides the typo that disarmed a
 // suppression.
@@ -61,13 +64,19 @@ func Parse(text string) []Directive {
 	var out []Directive
 	for _, chunk := range splitDirectives(text) {
 		rest := strings.TrimPrefix(chunk, Prefix)
-		name, reason, _ := strings.Cut(rest, " ")
+		names, reason, _ := strings.Cut(rest, " ")
 		// Tolerate a trailing analysistest-style expectation so fixture files
 		// can assert on malformed directives: it is never part of the reason.
 		if i := strings.Index(reason, "// want"); i >= 0 {
 			reason = reason[:i]
 		}
-		out = append(out, Directive{Name: name, Reason: strings.TrimSpace(reason)})
+		reason = strings.TrimSpace(reason)
+		// //pglint:a,b <reason> suppresses both a and b with one written
+		// justification — one line can trip two analyzers (a map-order
+		// accumulation is both a maprange and a detflow finding).
+		for _, name := range strings.Split(names, ",") {
+			out = append(out, Directive{Name: name, Reason: reason})
+		}
 	}
 	return out
 }

@@ -70,6 +70,39 @@ func TestParse(t *testing.T) {
 			},
 		},
 		{
+			name: "comma-joined names share one reason",
+			text: "//pglint:lockcheck,detflow handoff is fenced by wg.Wait",
+			want: []Directive{
+				{Name: "lockcheck", Reason: "handoff is fenced by wg.Wait"},
+				{Name: "detflow", Reason: "handoff is fenced by wg.Wait"},
+			},
+		},
+		{
+			name: "comma-joined reasonless pair stays reasonless",
+			text: "//pglint:maprange,detflow",
+			want: []Directive{
+				{Name: "maprange", Reason: ""},
+				{Name: "detflow", Reason: ""},
+			},
+		},
+		{
+			name: "comma list composes with back-to-back directives",
+			text: "//pglint:a,b shared //pglint:c own",
+			want: []Directive{
+				{Name: "a", Reason: "shared"},
+				{Name: "b", Reason: "shared"},
+				{Name: "c", Reason: "own"},
+			},
+		},
+		{
+			name: "trailing comma yields an empty name (ReportUnknown flags it)",
+			text: "//pglint:lockcheck, reason",
+			want: []Directive{
+				{Name: "lockcheck", Reason: "reason"},
+				{Name: "", Reason: "reason"},
+			},
+		},
+		{
 			name: "trailing want expectation is not part of the reason",
 			text: "//pglint:ctxflow // want `needs a reason`",
 			want: []Directive{{Name: "ctxflow", Reason: ""}},
@@ -98,6 +131,9 @@ func FuzzParseDirective(f *testing.F) {
 	f.Add("//pglint:maprange keys are sorted")
 	f.Add("//pglint:hotalloc")
 	f.Add("//pglint:a x //pglint:b y")
+	f.Add("//pglint:lockcheck,detflow one reason, two analyzers")
+	f.Add("//pglint:a,,b commas all the way down")
+	f.Add("//pglint:,")
 	f.Add("//pglint:goroleak reason\r\n")
 	f.Add("// pglint:not-a-directive")
 	f.Add("//pglint:ctxflow // want `needs a reason`")
@@ -115,8 +151,8 @@ func FuzzParseDirective(f *testing.F) {
 			t.Fatalf("Parse(%q) dropped a prefixed directive", text)
 		}
 		for _, d := range ds {
-			if strings.Contains(d.Name, " ") {
-				t.Fatalf("Parse(%q): name %q contains a space", text, d.Name)
+			if strings.ContainsAny(d.Name, " ,") {
+				t.Fatalf("Parse(%q): name %q contains a space or comma (comma lists must be split)", text, d.Name)
 			}
 			for _, s := range []string{d.Name, d.Reason} {
 				if strings.ContainsAny(s, "\r\n") {

@@ -1,34 +1,45 @@
 // Package lint aggregates the pglint analyzer suite.
 //
 // pglint is this repository's compile-time determinism, numerical-safety
-// and concurrency-contract gate: nine golang.org/x/tools/go/analysis
+// and concurrency-contract gate: thirteen golang.org/x/tools/go/analysis
 // analyzers enforcing the invariants the test suite can only sample — no
 // ambient randomness or clock in the kernels, no map-order-dependent
 // iteration, no exact float comparison, no sync.Pool scratch leaks or
 // aliasing escapes, no severed error or context chains, no allocations
-// in hot inner loops, no unterminated goroutines. The first five
-// (bannedimport, maprange, floateq, poolleak, errwrapcheck) work on the
-// AST and CFG; the four contract analyzers (ctxflow, hotalloc, goroleak,
-// poolescape) share the ssalite function IR. Run it via `make lint`,
-// which is `go vet -vettool=bin/pglint ./...`, or `make lint-sarif` for
-// the SARIF + baseline view CI uploads. Suppressions are per-line
-// //pglint:<name> <reason> annotations; see internal/lint/directive for
-// the grammar, internal/lint/README.md for the catalogue, and DESIGN.md
-// §9 for the full policy.
+// in hot inner loops, no unterminated goroutines, mutex discipline on
+// every CFG path, no atomic/plain access mixes, no determinism taint in
+// contract-bearing results, and no library goroutine parked forever on
+// an unprovable send. The first five (bannedimport, maprange, floateq,
+// poolleak, errwrapcheck) work on the AST and CFG; the contract
+// analyzers (ctxflow, hotalloc, goroleak, poolescape, lockcheck,
+// detflow, sendblock) share the ssalite function IR, and the
+// concurrency/determinism family additionally shares the cross-package
+// function summaries of ssalite/summary, exported as analysis facts so
+// lock, taint and blocking behavior is visible through package edges.
+// Run it via `make lint`, which is `go vet -vettool=bin/pglint ./...`,
+// or `make lint-sarif` for the SARIF + baseline view CI uploads.
+// Suppressions are per-line //pglint:<name> <reason> annotations (one
+// line may carry //pglint:a,b <reason> to cover two analyzers); see
+// internal/lint/directive for the grammar, internal/lint/README.md for
+// the catalogue, and DESIGN.md §9 for the full policy.
 package lint
 
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"powerrchol/internal/lint/atomicmix"
 	"powerrchol/internal/lint/bannedimport"
 	"powerrchol/internal/lint/ctxflow"
+	"powerrchol/internal/lint/detflow"
 	"powerrchol/internal/lint/errwrapcheck"
 	"powerrchol/internal/lint/floateq"
 	"powerrchol/internal/lint/goroleak"
 	"powerrchol/internal/lint/hotalloc"
+	"powerrchol/internal/lint/lockcheck"
 	"powerrchol/internal/lint/maprange"
 	"powerrchol/internal/lint/poolescape"
 	"powerrchol/internal/lint/poolleak"
+	"powerrchol/internal/lint/sendblock"
 )
 
 func init() {
@@ -49,6 +60,10 @@ func Analyzers() []*analysis.Analyzer {
 		hotalloc.Analyzer,
 		goroleak.Analyzer,
 		poolescape.Analyzer,
+		lockcheck.Analyzer,
+		atomicmix.Analyzer,
+		detflow.Analyzer,
+		sendblock.Analyzer,
 	}
 }
 
@@ -65,5 +80,9 @@ func DirectiveNames() []string {
 		hotalloc.DirectiveName,
 		goroleak.DirectiveName,
 		poolescape.DirectiveName,
+		lockcheck.DirectiveName,
+		atomicmix.DirectiveName,
+		detflow.DirectiveName,
+		sendblock.DirectiveName,
 	}
 }

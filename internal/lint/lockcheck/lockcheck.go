@@ -1,0 +1,509 @@
+// Package lockcheck enforces mutex discipline over each function's CFG.
+//
+// Three rules, all on sync.Mutex / sync.RWMutex values with a stable
+// identity (a variable or a field chain rooted at one):
+//
+//  1. Release on every path: a Lock must be matched by an Unlock on
+//     every path to return. `defer mu.Unlock()` anywhere in the
+//     function sanctions the lock; an early `return err` between Lock
+//     and Unlock is the classic leak this catches.
+//  2. No double lock: acquiring a lock that may already be held on some
+//     path deadlocks at run time (RLock-after-RLock is exempt: read
+//     locks are reentrant-shaped, and flagging them would outlaw the
+//     legitimate concurrent-readers pattern).
+//  3. Nothing blocking under a lock: a channel send/receive, a select
+//     without default, sync.WaitGroup.Wait, time.Sleep, or a call that
+//     the cross-package summaries say blocks must not execute while a
+//     lock is held — that serializes the solver behind I/O and is one
+//     unlucky scheduling away from deadlock.
+//
+// The analysis is a forward may-held dataflow over the go/cfg graph
+// ssalite already builds: lock sets merge by union at joins, so a
+// report means "on at least one path". Calls are resolved through the
+// summary facts: a helper that acquires, releases, or blocks is
+// accounted for even when it lives in another package.
+//
+// //pglint:lockcheck <reason> on the offending line suppresses a
+// finding; lock-free code is never reported.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/ssalite"
+	"powerrchol/internal/lint/ssalite/summary"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = summary.LockcheckDirective
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockcheck",
+	Doc:      "mutex discipline: every Lock unlocked on all paths (defer sanctioned), no double-lock of one mutex, nothing blocking while a lock is held",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer, summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+	ix := pass.ResultOf[summary.Analyzer].(*summary.Index)
+
+	for _, fn := range prog.Funcs {
+		if fn.CFG == nil || strings.HasSuffix(pass.Fset.Position(fn.Body.Pos()).Filename, "_test.go") {
+			continue
+		}
+		newChecker(pass, fn, ix, dirs).check()
+	}
+	return nil, nil
+}
+
+// A lockKey identifies one mutex: the root variable plus the field path
+// reaching the lock (c.mu → {c, "mu"}).
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+func (k lockKey) String() string {
+	name := k.root.Name()
+	if k.path == "" {
+		return name
+	}
+	return name + "." + k.path
+}
+
+// acq carries the acquisition details of one held lock.
+type acq struct {
+	pos  token.Pos
+	read bool // RLock, not Lock
+}
+
+// lockSet is the dataflow state: may-held locks with their first
+// acquisition site.
+type lockSet map[lockKey]acq
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// union merges src into s, reporting whether s changed. On conflict the
+// earlier acquisition wins, so diagnostics point at the first site.
+func (s lockSet) union(src lockSet) bool {
+	changed := false
+	for k, v := range src {
+		if old, ok := s[k]; !ok {
+			s[k] = v
+			changed = true
+		} else if v.pos < old.pos {
+			s[k] = v
+		}
+	}
+	return changed
+}
+
+func (s lockSet) equal(o lockSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ssalite.Function
+	ix   *summary.Index
+	dirs *directive.Index
+
+	deferred map[lockKey]bool // unlocked via defer somewhere in fn
+	// escapeComm holds communication statements of selects WITH a
+	// default clause — they never block. Comms of default-less selects
+	// stay blocking and carry their select for once-per-select reports.
+	escapeComm map[ast.Node]bool
+	commSelect map[ast.Node]*ast.SelectStmt
+	in         map[*cfg.Block]lockSet
+	reported   map[reportKey]bool
+}
+
+type reportKey struct {
+	pos  token.Pos
+	kind string
+	lock lockKey
+}
+
+func newChecker(pass *analysis.Pass, fn *ssalite.Function, ix *summary.Index, dirs *directive.Index) *checker {
+	c := &checker{
+		pass:       pass,
+		fn:         fn,
+		ix:         ix,
+		dirs:       dirs,
+		deferred:   map[lockKey]bool{},
+		escapeComm: map[ast.Node]bool{},
+		commSelect: map[ast.Node]*ast.SelectStmt{},
+		in:         map[*cfg.Block]lockSet{},
+		reported:   map[reportKey]bool{},
+	}
+	c.scanBody()
+	return c
+}
+
+// scanBody precomputes the function-wide facts the per-block transfer
+// needs: deferred unlocks and the select/comm structure.
+func (c *checker) scanBody() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && c.fn.Lit != lit {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() — and defer func() { mu.Unlock() }(),
+			// which release just the same.
+			ast.Inspect(x.Call, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if op, lockExpr, ok := summary.MutexOp(c.pass, call); ok && (op == summary.OpUnlock || op == summary.OpRUnlock) {
+						if k, ok := c.keyOf(lockExpr); ok {
+							c.deferred[k] = true
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.SelectStmt:
+			escapes := false
+			for _, cl := range x.Body.List {
+				if cl.(*ast.CommClause).Comm == nil {
+					escapes = true
+				}
+			}
+			for _, cl := range x.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					if escapes {
+						c.escapeComm[comm] = true
+					} else {
+						c.commSelect[comm] = x
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) keyOf(e ast.Expr) (lockKey, bool) {
+	root, path, ok := summary.ChainOf(c.pass, e)
+	if !ok {
+		return lockKey{}, false
+	}
+	return lockKey{root: root, path: path}, true
+}
+
+func (c *checker) check() {
+	blocks := c.fn.CFG.Blocks
+	if len(blocks) == 0 {
+		return
+	}
+	c.in[blocks[0]] = lockSet{}
+
+	// Fixpoint: propagate may-held sets forward until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			if !b.Live {
+				continue
+			}
+			state, ok := c.in[b]
+			if !ok {
+				continue
+			}
+			out := c.transfer(b, state.clone(), false)
+			for _, succ := range b.Succs {
+				if cur, ok := c.in[succ]; !ok {
+					c.in[succ] = out.clone()
+					changed = true
+				} else if cur.union(out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass over the stable states.
+	for _, b := range blocks {
+		if !b.Live {
+			continue
+		}
+		state, ok := c.in[b]
+		if !ok {
+			continue
+		}
+		out := c.transfer(b, state.clone(), true)
+		if len(b.Succs) == 0 {
+			c.checkExit(out)
+		}
+	}
+}
+
+// transfer runs the lock-state transfer function over one block,
+// reporting violations when report is set.
+func (c *checker) transfer(b *cfg.Block, state lockSet, report bool) lockSet {
+	for _, n := range b.Nodes {
+		c.node(n, state, report)
+	}
+	return state
+}
+
+func (c *checker) node(n ast.Node, state lockSet, report bool) {
+	if c.escapeComm[n] {
+		return // comm of a select with default: never blocks
+	}
+	if sel, ok := c.commSelect[n]; ok {
+		// Comm of a default-less select: the select blocks as a whole.
+		if report {
+			c.heldAcross(state, sel.Pos(), "a select without default")
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false // other goroutine / function exit
+		case *ast.SendStmt:
+			if report {
+				c.heldAcross(state, x.Pos(), "a channel send")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && report {
+				c.heldAcross(state, x.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			c.call(x, state, report)
+			// Descend: arguments may contain receives or nested calls.
+		}
+		return true
+	})
+	// Range over a channel: the range expression is its own CFG node.
+	if e, ok := n.(ast.Expr); ok && report {
+		if t := c.pass.TypesInfo.TypeOf(e); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				if c.isRangeX(e) {
+					c.heldAcross(state, e.Pos(), "a range over a channel")
+				}
+			}
+		}
+	}
+}
+
+// isRangeX reports whether e is the X of a range statement in this
+// function (the only way a bare channel expression becomes a CFG node).
+func (c *checker) isRangeX(e ast.Expr) bool {
+	found := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if rng, ok := n.(*ast.RangeStmt); ok && rng.X == e {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// call applies one call's effect on the lock state and checks it
+// against the rules.
+func (c *checker) call(call *ast.CallExpr, state lockSet, report bool) {
+	// Direct mutex operation?
+	if op, lockExpr, ok := summary.MutexOp(c.pass, call); ok {
+		k, ok := c.keyOf(lockExpr)
+		if !ok {
+			return
+		}
+		switch op {
+		case summary.OpLock, summary.OpRLock:
+			if held, already := state[k]; already && report {
+				if !(op == summary.OpRLock && held.read) {
+					c.report(call.Pos(), "double", k,
+						"%s is already locked on some path here (since %s); this deadlocks at run time",
+						k, c.posOf(held.pos))
+				}
+			}
+			if _, already := state[k]; !already {
+				state[k] = acq{pos: call.Pos(), read: op == summary.OpRLock}
+			}
+		case summary.OpUnlock, summary.OpRUnlock:
+			delete(state, k)
+		}
+		return
+	}
+
+	// Resolved callee: apply its summary.
+	callee := staticCallee(c.pass, call)
+	if callee == nil {
+		return
+	}
+	if why, blocks := summary.BlockingCall(c.ix, callee); blocks && report {
+		c.heldAcross(state, call.Pos(), "a call to "+callee.Name()+", which blocks ("+why+")")
+	}
+	// Lock effects of same-root helper calls: m.helperLocked() touching
+	// m.mu reads as this call touching <root>.mu.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	root, _, ok := summary.ChainOf(c.pass, sel.X)
+	if !ok {
+		return
+	}
+	s, known := c.ix.Lookup(callee)
+	if !known {
+		return
+	}
+	apply := func(paths []string, read bool) {
+		for _, path := range paths {
+			k := lockKey{root: root, path: path}
+			if held, already := state[k]; already && report {
+				if !(read && held.read) {
+					c.report(call.Pos(), "double", k,
+						"%s is already locked on some path here (since %s), and %s acquires it again; this deadlocks at run time",
+						k, c.posOf(held.pos), callee.Name())
+				}
+			}
+		}
+	}
+	apply(s.AcquiresLocks, false)
+	apply(s.AcquiresRLocks, true)
+	// Net state change: balanced paths (acquired and released inside the
+	// helper) leave the caller's state alone.
+	for _, path := range diff(s.AcquiresLocks, s.ReleasesLocks) {
+		k := lockKey{root: root, path: path}
+		if _, already := state[k]; !already {
+			state[k] = acq{pos: call.Pos()}
+		}
+	}
+	for _, path := range diff(s.AcquiresRLocks, s.ReleasesRLocks) {
+		k := lockKey{root: root, path: path}
+		if _, already := state[k]; !already {
+			state[k] = acq{pos: call.Pos(), read: true}
+		}
+	}
+	for _, path := range diff(s.ReleasesLocks, s.AcquiresLocks) {
+		delete(state, lockKey{root: root, path: path})
+	}
+	for _, path := range diff(s.ReleasesRLocks, s.AcquiresRLocks) {
+		delete(state, lockKey{root: root, path: path})
+	}
+}
+
+func diff(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// heldAcross reports every held lock not sanctioned by defer for a
+// blocking operation at pos.
+func (c *checker) heldAcross(state lockSet, pos token.Pos, what string) {
+	keys := make([]lockKey, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		c.report(pos, "blocking", k,
+			"%s (locked at %s) may be held across %s; release the lock before blocking",
+			k, c.posOf(state[k].pos), what)
+	}
+}
+
+// checkExit reports locks still held at a return with no deferred
+// unlock covering them.
+func (c *checker) checkExit(state lockSet) {
+	for k, a := range state {
+		if c.deferred[k] {
+			continue
+		}
+		c.report(a.pos, "leak", k,
+			"%s locked here is not unlocked on every path to return; unlock before each return or use defer %s.Unlock()",
+			k, k)
+	}
+}
+
+func (c *checker) report(pos token.Pos, kind string, k lockKey, format string, args ...interface{}) {
+	rk := reportKey{pos: pos, kind: kind, lock: k}
+	if c.reported[rk] {
+		return
+	}
+	c.reported[rk] = true
+	if _, ok := c.dirs.Allow(pos, DirectiveName); ok {
+		return
+	}
+	c.pass.Reportf(pos, format+" (or annotate //pglint:%s <reason>)", append(args, DirectiveName)...)
+}
+
+func (c *checker) posOf(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	base := p.Filename
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + ":" + itoa(p.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

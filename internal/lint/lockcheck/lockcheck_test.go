@@ -1,0 +1,14 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/linttest"
+	"powerrchol/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), lockcheck.Analyzer,
+		"example.com/internal/core",
+	)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+
+	"example.com/internal/dep"
+)
+
+type Cache struct {
+	mu   sync.Mutex
+	vals map[string]int
+	ch   chan int
+}
+
+// Lookup leaks the lock on the miss path.
+func (c *Cache) Lookup(k string) (int, bool) {
+	c.mu.Lock() // want `c\.mu locked here is not unlocked on every path to return`
+	v, ok := c.vals[k]
+	if !ok {
+		return 0, false
+	}
+	c.mu.Unlock()
+	return v, true
+}
+
+// Reset locks twice: instant deadlock.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.mu.Lock() // want `c\.mu is already locked on some path here`
+	c.vals = nil
+	c.mu.Unlock()
+}
+
+// grow is a balanced helper; calling it with c.mu held deadlocks.
+func (c *Cache) grow() {
+	c.mu.Lock()
+	c.vals = make(map[string]int)
+	c.mu.Unlock()
+}
+
+func (c *Cache) Rebuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.grow() // want `c\.mu is already locked on some path here .*grow acquires it again`
+}
+
+// Publish sends with the lock held.
+func (c *Cache) Publish(v int) {
+	c.mu.Lock()
+	c.ch <- v // want `c\.mu \(locked at .*\) may be held across a channel send`
+	c.mu.Unlock()
+}
+
+// Flush blocks under the lock through a callee in another package —
+// only the summary fact for dep.Drain makes this visible.
+func (c *Cache) Flush(w *dep.Waiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.Drain() // want `c\.mu .*may be held across a call to Drain, which blocks`
+}

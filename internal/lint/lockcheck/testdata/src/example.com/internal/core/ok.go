@@ -1,0 +1,65 @@
+package core
+
+import "sync"
+
+// The sanctioned idioms: none of these may be reported.
+
+type Safe struct {
+	mu sync.RWMutex
+	m  map[string]float64
+	ch chan int
+}
+
+// Defer-unlock covers every path.
+func (s *Safe) Get(k string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+// Explicit unlock before the blocking send.
+func (s *Safe) Put(k string, v float64) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// Both branches release.
+func (s *Safe) Toggle(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Concurrent readers: RLock while another RLock is held is the point
+// of an RWMutex, not a deadlock.
+func (s *Safe) Sum(keys []string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0.0
+	for _, k := range keys {
+		total += s.get(k)
+	}
+	return total
+}
+
+func (s *Safe) get(k string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+// A non-blocking select under the lock is fine: the default clause is
+// the escape hatch.
+func (s *Safe) TryNotify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}

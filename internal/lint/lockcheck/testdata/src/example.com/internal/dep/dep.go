@@ -1,0 +1,16 @@
+// Package dep exists so the core fixture has a cross-package callee
+// whose blocking behavior is only visible through the summary facts.
+package dep
+
+import "sync"
+
+// A Waiter parks the caller until its group drains.
+type Waiter struct {
+	WG sync.WaitGroup
+}
+
+// Drain blocks on the WaitGroup — the fact lockcheck must see from the
+// importing package.
+func (w *Waiter) Drain() {
+	w.WG.Wait()
+}

@@ -114,6 +114,21 @@ func Hot(path string) bool { return inSet(path, hot) }
 // hotalloc loop-allocation rules all the same.
 func Orchestration(path string) bool { return inSet(path, orchestration) }
 
+// Deterministic reports whether the determinism-taint rules (detflow)
+// bind at path: the numeric kernels (bitwise replayable per seed by
+// contract), the orchestration layer (it assembles Result values and
+// feeds the fingerprint referee), and the module-root API package whose
+// Result types carry the reproducibility guarantee to callers. Binaries
+// and examples stay out: they format and print, they do not produce
+// contract-bearing values.
+func Deterministic(path string) bool {
+	if Numeric(path) || Orchestration(path) {
+		return true
+	}
+	rel := Rel(path)
+	return rel == path && Library(path)
+}
+
 // Library reports whether the package at path is library code, i.e. code
 // that must receive its context from the caller rather than minting one
 // with context.Background/TODO. Binaries (cmd/*) and runnable examples

@@ -1,0 +1,113 @@
+// Package sendblock requires channel sends in library goroutines to be
+// provably non-blocking.
+//
+// goroleak accepts a goroutine once it has termination evidence — a
+// WaitGroup, a drained channel, a ctx select. Its blind spot is the
+// response path: a goroutine whose last act is `resp <- result` on an
+// unbuffered channel terminates only if the consumer is still there. If
+// the consumer timed out (the admission-gate path) the goroutine parks
+// forever, pinning the solver state it captured. This analyzer closes
+// that gap: every send executed on a spawned goroutine must carry
+// evidence it cannot block —
+//
+//   - the channel's every make site in its package is buffered
+//     (capacity expression present and non-zero; the repo's cap-1
+//     exactly-one-response protocol),
+//   - the send is a select clause with an escape (a default, or a
+//     receive such as <-ctx.Done()),
+//   - or a //pglint:sendblock <reason> records the single-consumer
+//     argument that the analyzer cannot see.
+//
+// Spawned literals are checked send-by-send; spawned declared functions
+// (any package) are judged by their MayBlockSend summary fact, so
+// `go dep.Pump(ch)` is a finding when dep's own facts say Pump's send
+// is unproven. Scope: library packages (policy.Library) — binaries own
+// their process lifetime.
+package sendblock
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/directive"
+	"powerrchol/internal/lint/policy"
+	"powerrchol/internal/lint/ssalite"
+	"powerrchol/internal/lint/ssalite/summary"
+)
+
+// DirectiveName is the suppression directive honored by this analyzer.
+const DirectiveName = summary.SendblockDirective
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "sendblock",
+	Doc:      "channel sends in library goroutines must be provably non-blocking: buffered with capacity evidence, select with an escape, or an annotated single-consumer protocol",
+	Requires: []*analysis.Analyzer{ssalite.Analyzer, summary.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directive.New(pass)
+	dirs.Validate(pass, DirectiveName)
+	if !policy.Library(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	prog := pass.ResultOf[ssalite.Analyzer].(*ssalite.Program)
+	ix := pass.ResultOf[summary.Analyzer].(*summary.Index)
+	ev := summary.NewEvidence(pass)
+
+	for _, fn := range prog.Funcs {
+		if strings.HasSuffix(pass.Fset.Position(fn.Body.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, c := range fn.Calls {
+			if !c.Go {
+				continue
+			}
+			if lit, ok := ast.Unparen(c.Expr.Fun).(*ast.FuncLit); ok {
+				if spawned := prog.FuncOf(lit.Body); spawned != nil {
+					checkSpawned(pass, spawned, ix, ev, dirs)
+				}
+				continue
+			}
+			// Declared callee, local or imported: its summary says
+			// whether some send on its synchronous path is unproven.
+			if s, known := ix.Lookup(c.Callee); known && s.MayBlockSend {
+				if _, allowed := dirs.Allow(c.Expr.Pos(), DirectiveName); allowed {
+					continue
+				}
+				pass.Reportf(c.Expr.Pos(), "go statement spawns %s, which may block forever on a channel send (%s); buffer the channel, add a select escape, or annotate //pglint:%s <reason>",
+					c.Callee.Name(), s.SendReason, DirectiveName)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkSpawned verifies every send of a spawned literal, and the
+// summaries of the functions it calls synchronously.
+func checkSpawned(pass *analysis.Pass, fn *ssalite.Function, ix *summary.Index, ev *summary.Evidence, dirs *directive.Index) {
+	summary.WalkSends(fn, func(send *ast.SendStmt, sel *ast.SelectStmt) {
+		if ok, _ := ev.NonBlockingSend(send, sel); ok {
+			return
+		}
+		if _, allowed := dirs.Allow(send.Pos(), DirectiveName); allowed {
+			return
+		}
+		pass.Reportf(send.Pos(), "channel send in a goroutine has no non-blocking evidence; buffer the channel with known capacity, select with a ctx.Done()/default escape, or annotate //pglint:%s <reason>",
+			DirectiveName)
+	})
+	for _, c := range fn.Calls {
+		if c.Go {
+			continue // a further goroutine: judged at its own go site
+		}
+		if s, known := ix.Lookup(c.Callee); known && s.MayBlockSend {
+			if _, allowed := dirs.Allow(c.Expr.Pos(), DirectiveName); allowed {
+				continue
+			}
+			pass.Reportf(c.Expr.Pos(), "goroutine calls %s, which may block forever on a channel send (%s); buffer the channel, add a select escape, or annotate //pglint:%s <reason>",
+				c.Callee.Name(), s.SendReason, DirectiveName)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package sendblock_test
+
+import (
+	"testing"
+
+	"powerrchol/internal/lint/linttest"
+	"powerrchol/internal/lint/sendblock"
+)
+
+func TestSendblock(t *testing.T) {
+	linttest.Run(t, linttest.TestdataDir(t), sendblock.Analyzer,
+		"example.com/internal/core",
+	)
+}

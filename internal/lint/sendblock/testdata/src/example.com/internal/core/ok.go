@@ -1,0 +1,63 @@
+package core
+
+import "context"
+
+// The sanctioned idioms: none of these may be reported.
+
+// request uses the repo's cap-1 exactly-one-response protocol.
+func request() int {
+	resp := make(chan int, 1)
+	go func() { resp <- 42 }()
+	return <-resp
+}
+
+// notify abandons the send when the context dies.
+func notify(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// tryNotify drops the value when nobody is listening.
+func tryNotify(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// req carries its response channel as a field; the composite-literal
+// make site is the capacity evidence.
+type req struct {
+	resp chan int
+}
+
+func enqueue() *req {
+	r := &req{resp: make(chan int, 1)}
+	go func() { r.resp <- 7 }()
+	return r
+}
+
+// legacy records the single-consumer argument the analyzer cannot see.
+func legacy(ch chan int) {
+	go func() {
+		//pglint:sendblock the sole consumer blocks on this receive for the process lifetime
+		ch <- 9
+	}()
+}
+
+// sized buffers with a runtime capacity (the worker-pool shape).
+func sized(n int) chan int {
+	jobs := make(chan int, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+	}()
+	return jobs
+}

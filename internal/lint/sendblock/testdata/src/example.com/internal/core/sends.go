@@ -1,0 +1,31 @@
+package core
+
+import "example.com/internal/dep"
+
+// fanout parks forever if the consumer is gone: no buffer, no escape.
+func fanout(ch chan int) {
+	go func() {
+		ch <- 1 // want `channel send in a goroutine has no non-blocking evidence`
+	}()
+}
+
+// produce is fine synchronously, but spawning it is not.
+func produce(ch chan int) {
+	ch <- 2
+}
+
+func startLocal(ch chan int) {
+	go produce(ch) // want `go statement spawns produce, which may block forever on a channel send`
+}
+
+// startPump spawns a cross-package sender: only dep's fact reveals it.
+func startPump(ch chan int) {
+	go dep.Pump(ch) // want `go statement spawns Pump, which may block forever on a channel send`
+}
+
+// relay calls an unproven sender synchronously inside a goroutine.
+func relay(ch chan int) {
+	go func() {
+		dep.Pump(ch) // want `goroutine calls Pump, which may block forever on a channel send`
+	}()
+}

@@ -1,0 +1,8 @@
+// Package dep carries an unproven send; the MayBlockSend fact must make
+// `go dep.Pump(...)` a finding in importing packages.
+package dep
+
+// Pump forwards one value on a channel it knows nothing about.
+func Pump(ch chan int) {
+	ch <- 1
+}

@@ -41,7 +41,7 @@ func buildPglint(t *testing.T, root string) string {
 }
 
 // TestPglintRepoClean is the tier-1 version of `make lint`: the whole
-// repository must pass the nine pglint analyzers, so a new violation
+// repository must pass the thirteen pglint analyzers, so a new violation
 // fails `go test ./...` even on machines that never run the Makefile.
 func TestPglintRepoClean(t *testing.T) {
 	if testing.Short() {
@@ -57,10 +57,11 @@ func TestPglintRepoClean(t *testing.T) {
 }
 
 // TestPglintCatchesViolation proves the vettool actually bites: a scratch
-// module planted with one deliberate violation per analyzer — all nine —
-// must fail `go vet -vettool` with every finding present. The scratch
-// package sits at internal/core so the policy tables classify it as
-// numeric, hot, and library code, arming every rule at once.
+// module planted with one deliberate violation per analyzer — all
+// thirteen — must fail `go vet -vettool` with every finding present. The
+// scratch package sits at internal/core so the policy tables classify it
+// as numeric, hot, deterministic, and library code, arming every rule at
+// once.
 func TestPglintCatchesViolation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short runs")
@@ -171,6 +172,68 @@ func Spin(n int) {
 	}()
 }
 `)
+	// lockcheck: the miss path returns with b.mu still held
+	write("internal/core/lock.go", `package core
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *Box) Take() (int, bool) {
+	b.mu.Lock()
+	if b.v == 0 {
+		return 0, false
+	}
+	v := b.v
+	b.mu.Unlock()
+	return v, true
+}
+`)
+	// atomicmix: atomic increment, plain read
+	write("internal/core/atomic.go", `package core
+
+import "sync/atomic"
+
+type Hits struct {
+	n int64
+}
+
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func (h *Hits) Snapshot() int64 {
+	return h.n
+}
+`)
+	// detflow: map-order float accumulation stored into a Result field
+	write("internal/core/det.go", `package core
+
+type Result struct {
+	Norm float64
+}
+
+func Fill(r *Result, m map[string]float64) {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	r.Norm = s
+}
+`)
+	// sendblock: unbuffered bare send in a goroutine (loop-free body, so
+	// goroleak alone would accept it — this is exactly its gap)
+	write("internal/core/send.go", `package core
+
+func Notify(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+`)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	cmd.Dir = mod
 	out, err := cmd.CombinedOutput()
@@ -187,6 +250,10 @@ func Spin(n int) {
 		"make in an innermost loop of a hot kernel", // hotalloc
 		"tie the goroutine to a WaitGroup",          // goroleak
 		"is returned before Put",                    // poolescape
+		"is not unlocked on every path to return",   // lockcheck
+		"but plainly here",                          // atomicmix
+		"determinism-tainted value reaches",         // detflow
+		"channel send in a goroutine has no non-blocking evidence", // sendblock
 	}
 	for _, want := range wants {
 		if !strings.Contains(string(out), want) {

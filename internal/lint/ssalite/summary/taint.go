@@ -1,0 +1,471 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"powerrchol/internal/lint/ssalite"
+)
+
+// Determinism-taint analysis, shared between the summary facts
+// (TaintedResults) and the detflow analyzer (which also wants the
+// individual sink findings).
+//
+// The lattice is deliberately small — a value is either clean or
+// tainted-with-a-reason — and the transfer rules are narrow enough to
+// hold zero false positives over the repo:
+//
+//   sources   float accumulation (+=, -=, *=, /=) inside a map-range
+//             body into a variable declared outside the loop (map
+//             iteration order changes the FP rounding of the result);
+//             results of math/rand, math/rand/v2 or crypto/rand calls
+//             (ambient, unseeded randomness — the repo's seeded
+//             internal/rng is exempt); float accumulation into a
+//             captured variable from a go-spawned literal with no mutex
+//             in sight (scheduling order changes the rounding); results
+//             of any callee whose summary says TaintedResults.
+//   transfer  assignment taints the target when any operand is tainted;
+//             plain reassignment from clean operands clears it.
+//   sinks     float-typed results (returns), arguments flowing into a
+//             Fingerprint* call, and writes to float fields of a
+//             *Result struct.
+//
+// A //pglint:detflow or //pglint:ordered-irrelevant directive at the
+// source suppresses seeding; a directive at the sink suppresses the
+// report (the caller's sanctioned func decides both).
+
+// A TaintFinding is one tainted value reaching a determinism sink.
+type TaintFinding struct {
+	Pos    token.Pos
+	Sink   string // what the value flowed into
+	Reason string // why the value is tainted
+}
+
+// TaintInfo is the result of AnalyzeTaint for one function.
+type TaintInfo struct {
+	ReturnsTainted bool
+	ReturnReason   string
+	Findings       []TaintFinding
+}
+
+// AnalyzeTaint runs the determinism-taint pass over one function.
+// calleeTainted resolves interprocedural taint (via the summary Index);
+// sanctioned reports whether a directive covers a position.
+func AnalyzeTaint(pass *analysis.Pass, fn *ssalite.Function, calleeTainted func(*types.Func) (string, bool), sanctioned func(token.Pos) bool) TaintInfo {
+	w := &taintWalker{
+		pass:          pass,
+		fn:            fn,
+		calleeTainted: calleeTainted,
+		sanctioned:    sanctioned,
+		tainted:       map[types.Object]string{},
+	}
+	// Two passes: loops feed values back to their own heads, so taint
+	// introduced late in a body must be visible at its top. One extra
+	// pass reaches the fixpoint because the domain only grows within a
+	// pass and strong updates are re-applied identically.
+	w.walk(false)
+	w.walk(true)
+	return w.out
+}
+
+type taintWalker struct {
+	pass          *analysis.Pass
+	fn            *ssalite.Function
+	calleeTainted func(*types.Func) (string, bool)
+	sanctioned    func(token.Pos) bool
+	tainted       map[types.Object]string
+	report        bool
+	seen          map[token.Pos]bool
+	out           TaintInfo
+}
+
+func (w *taintWalker) walk(report bool) {
+	w.report = report
+	w.seen = map[token.Pos]bool{}
+	inspectOwn(w.fn, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			w.rangeStmt(x)
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				w.goLit(lit)
+			}
+			return false
+		case *ast.AssignStmt:
+			w.assign(x)
+		case *ast.ReturnStmt:
+			w.returnStmt(x)
+		case *ast.CallExpr:
+			w.fingerprintSink(x)
+		}
+		return true
+	})
+}
+
+// rangeStmt seeds taint for float accumulation in map-iteration order.
+func (w *taintWalker) rangeStmt(rng *ast.RangeStmt) {
+	t := w.pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if w.sanctioned(rng.Pos()) {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isAccumOp(as.Tok) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			obj := w.accumTarget(lhs)
+			if obj == nil || !isFloatish(obj.Type()) {
+				continue
+			}
+			if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+				continue // loop-local accumulator, dies with the iteration
+			}
+			if w.sanctioned(as.Pos()) {
+				continue
+			}
+			w.tainted[obj] = "float accumulation in map-iteration order at " + posOf(w.pass, as.Pos())
+		}
+		return true
+	})
+}
+
+// goLit seeds taint for unsynchronized concurrent float accumulation: a
+// go-spawned literal writing += into a captured float with no mutex use
+// inside the literal. Interleaving order changes the rounding, so the
+// accumulated value is not a function of the inputs alone.
+func (w *taintWalker) goLit(lit *ast.FuncLit) {
+	if litLocks(w.pass, lit) {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !isAccumOp(as.Tok) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			obj := w.accumTarget(lhs)
+			if obj == nil || !isFloatish(obj.Type()) {
+				continue
+			}
+			if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+				continue // literal-local, not shared
+			}
+			if w.sanctioned(as.Pos()) {
+				continue
+			}
+			reason := "unsynchronized concurrent float accumulation at " + posOf(w.pass, as.Pos())
+			w.tainted[obj] = reason
+			w.finding(as.Pos(), "a float accumulator shared across goroutines", reason)
+		}
+		return true
+	})
+}
+
+// litLocks reports whether the literal body acquires any mutex — the
+// accumulation is then serialized and order-independent in the
+// summation sense only if the caller further fences it, but it is not
+// a data race, and detflow leaves racy-order FP concerns to the
+// sanctioned reduction-tree helpers.
+func litLocks(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, _, ok := MutexOp(pass, call); ok && (op == OpLock || op == OpRLock) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// accumTarget resolves an assignment target to the object that carries
+// the accumulated value: the identifier itself, or the root of an index
+// expression (s[i] += v accumulates into s).
+func (w *taintWalker) accumTarget(lhs ast.Expr) types.Object {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return w.objOf(x)
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return w.objOf(id)
+		}
+	}
+	return nil
+}
+
+func (w *taintWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Defs[id]
+}
+
+func (w *taintWalker) assign(as *ast.AssignStmt) {
+	if isAccumOp(as.Tok) {
+		// Map-range and go-literal accumulation is seeded by the
+		// dedicated scans; here only propagate operand taint.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if reason := w.exprTaint(as.Rhs[0]); reason != "" {
+				if obj := w.accumTarget(as.Lhs[0]); obj != nil {
+					w.tainted[obj] = reason
+				}
+			}
+			w.resultFieldSink(as.Lhs[0], as.Rhs[0], as.Pos())
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		// x, y := f() — taint every target when the call is tainted.
+		if len(as.Rhs) == 1 {
+			reason := w.exprTaint(as.Rhs[0])
+			for _, lhs := range as.Lhs {
+				w.updateTarget(lhs, reason)
+				w.resultFieldSink(lhs, as.Rhs[0], as.Pos())
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		w.updateTarget(lhs, w.exprTaint(as.Rhs[i]))
+		w.resultFieldSink(lhs, as.Rhs[i], as.Pos())
+	}
+}
+
+// updateTarget taints or strongly clears an assignment target.
+func (w *taintWalker) updateTarget(lhs ast.Expr, reason string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		// Writes through selectors/indexes weak-update: taint sticks to
+		// the root so later reads stay tainted, clean writes don't clear.
+		if reason != "" {
+			if obj := w.accumTarget(lhs); obj != nil {
+				w.tainted[obj] = reason
+			}
+		}
+		return
+	}
+	obj := w.objOf(id)
+	if obj == nil {
+		return
+	}
+	if reason != "" {
+		w.tainted[obj] = reason
+	} else {
+		delete(w.tainted, obj)
+	}
+}
+
+func (w *taintWalker) returnStmt(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		// Naked return: named float results carry whatever taint their
+		// objects accumulated.
+		if w.fn.Decl == nil || w.fn.Decl.Type.Results == nil {
+			return
+		}
+		for _, f := range w.fn.Decl.Type.Results.List {
+			for _, name := range f.Names {
+				obj := w.pass.TypesInfo.Defs[name]
+				if obj == nil || !isFloatish(obj.Type()) {
+					continue
+				}
+				if reason, ok := w.tainted[obj]; ok {
+					w.returnFinding(ret.Pos(), reason)
+				}
+			}
+		}
+		return
+	}
+	for _, res := range ret.Results {
+		t := w.pass.TypesInfo.TypeOf(res)
+		if t == nil || !isFloatish(t) {
+			continue
+		}
+		if reason := w.exprTaint(res); reason != "" {
+			w.returnFinding(ret.Pos(), reason)
+		}
+	}
+}
+
+func (w *taintWalker) returnFinding(pos token.Pos, reason string) {
+	if w.sanctioned(pos) {
+		return
+	}
+	w.out.ReturnsTainted = true
+	if w.out.ReturnReason == "" {
+		w.out.ReturnReason = reason
+	}
+	w.finding(pos, "float result", reason)
+}
+
+// fingerprintSink flags tainted arguments flowing into Fingerprint*
+// calls — the reproducibility referee must never hash order-dependent
+// values.
+func (w *taintWalker) fingerprintSink(call *ast.CallExpr) {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	if !strings.HasPrefix(name, "Fingerprint") {
+		return
+	}
+	for _, arg := range call.Args {
+		if reason := w.exprTaint(arg); reason != "" && !w.sanctioned(call.Pos()) {
+			w.finding(call.Pos(), "argument to "+name, reason)
+		}
+	}
+}
+
+// resultFieldSink flags tainted writes into float fields of a Result
+// struct (r.Residual = tainted, res.X[i] = tainted).
+func (w *taintWalker) resultFieldSink(lhs, rhs ast.Expr, pos token.Pos) {
+	target := ast.Unparen(lhs)
+	if ix, ok := target.(*ast.IndexExpr); ok {
+		target = ast.Unparen(ix.X)
+	}
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() || !isFloatish(field.Type()) {
+		return
+	}
+	recv := w.pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !isResultType(recv) {
+		return
+	}
+	if reason := w.exprTaint(rhs); reason != "" && !w.sanctioned(pos) {
+		w.finding(pos, "field "+sel.Sel.Name+" of "+typeName(recv), reason)
+	}
+}
+
+func isResultType(t types.Type) bool {
+	return strings.HasSuffix(typeName(t), "Result")
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// exprTaint reports the first taint reason found in an expression, or
+// "".
+func (w *taintWalker) exprTaint(e ast.Expr) string {
+	var reason string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := w.objOf(x); obj != nil {
+				if r, ok := w.tainted[obj]; ok {
+					reason = r
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(w.pass, x); fn != nil {
+				if r, ok := ambientRandom(fn); ok {
+					reason = r
+					return false
+				}
+				if r, ok := w.calleeTainted(fn); ok {
+					reason = "calls " + fn.Name() + ", whose results are determinism-tainted (" + r + ")"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// ambientRandom classifies calls into the unseeded randomness packages.
+// The repo's internal/rng wraps a caller-supplied seed and is the
+// sanctioned source — its package path never matches these.
+func ambientRandom(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return "ambient randomness (" + fn.Pkg().Path() + "." + fn.Name() + ")", true
+	}
+	return "", false
+}
+
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (w *taintWalker) finding(pos token.Pos, sink, reason string) {
+	if !w.report || w.seen[pos] {
+		return
+	}
+	w.seen[pos] = true
+	w.out.Findings = append(w.out.Findings, TaintFinding{Pos: pos, Sink: sink, Reason: reason})
+}
+
+func isAccumOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isFloatish reports whether taint through t matters for bitwise
+// reproducibility: floats, complex numbers, and aggregates of them.
+func isFloatish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Slice:
+		return isFloatish(u.Elem())
+	case *types.Array:
+		return isFloatish(u.Elem())
+	case *types.Pointer:
+		return isFloatish(u.Elem())
+	}
+	return false
+}
