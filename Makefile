@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check build test vet lint lint-list lint-sarif lint-summaries race fuzz soak load bench bench-json bench-json-smoke cover tables examples clean
+.PHONY: all check build test vet lint lint-list lint-sarif lint-summaries optcheck optcheck-build optcheck-diff race fuzz soak load bench bench-json bench-json-smoke cover tables examples clean
 
 all: check
 
-# check is the default CI gate: tier-1 build+tests, vet, pglint, the race
-# detector over the short case set, and a short-budget fuzz pass.
-check: build vet lint test race fuzz
+# check is the default CI gate: tier-1 build+tests, vet, pglint, the
+# compiler-diagnostics contract gate (pgoptcheck), the race detector over
+# the short case set, and a short-budget fuzz pass.
+check: build vet lint optcheck test race fuzz
 
 build:
 	$(GO) build ./...
@@ -57,6 +58,27 @@ lint-sarif: pglint-build
 lint-summaries: pglint-build
 	$(GO) vet -vettool=$(abspath $(PGLINT)) ./internal/... ./cmd/...
 
+# pgoptcheck is the compiler-diagnostics contract gate (internal/lint/
+# optcheck, DESIGN.md §13): it compiles the hot kernel packages with
+# -gcflags='-m=2 -d=ssa/check_bce/debug=1', parses the bounds-check,
+# escape-analysis and inlining diagnostics, and fails on any finding not
+# sanctioned (with its site count) by .pgopt-baseline.json. The go
+# command replays the diagnostics from the build cache on unchanged
+# rebuilds, so repeated runs cost a cache probe, not a recompile.
+PGOPTCHECK := bin/pgoptcheck
+
+optcheck-build:
+	$(GO) build -o $(PGOPTCHECK) ./cmd/pgoptcheck
+
+optcheck: optcheck-build
+	./$(PGOPTCHECK) -o pgopt.sarif -baseline .pgopt-baseline.json
+
+# optcheck-diff prints the full reconciliation against the baseline —
+# new, grown, improved and fixed entries — the PR-review view. Tighten a
+# shrunken baseline deliberately with `bin/pgoptcheck -update-baseline`.
+optcheck-diff: optcheck-build
+	./$(PGOPTCHECK) -diff -o '' -baseline .pgopt-baseline.json
+
 test:
 	$(GO) test ./...
 
@@ -82,6 +104,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzSplitCSC$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzReadFactor$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDirective$$' -fuzztime=$(FUZZTIME) ./internal/lint/directive
+	$(GO) test -run='^$$' -fuzz='^FuzzParseOptDirective$$' -fuzztime=$(FUZZTIME) ./internal/lint/optcheck
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeSolveRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeSystemRequest$$' -fuzztime=$(FUZZTIME) ./internal/serve
 
@@ -108,7 +131,7 @@ bench:
 # (cmd/pgbench). BENCH_POINT numbers the point (BENCH_<n>.json, one per
 # growth step, committed); BENCH_SCALE trades fidelity for wall time —
 # 0.35 runs the full grid in well under a minute on a laptop.
-BENCH_POINT ?= 6
+BENCH_POINT ?= 9
 BENCH_SCALE ?= 0.35
 bench-json:
 	$(GO) run ./cmd/pgbench -point $(BENCH_POINT) -scale $(BENCH_SCALE) -o BENCH_$(BENCH_POINT).json
@@ -137,5 +160,5 @@ examples:
 	$(GO) run ./examples/sddsolve
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt pglint.sarif
+	rm -f cover.out test_output.txt bench_output.txt pglint.sarif pgopt.sarif
 	rm -rf bin

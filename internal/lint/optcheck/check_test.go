@@ -1,0 +1,194 @@
+package optcheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSurface materializes the given repo-relative files in a temp
+// root and parses them into a Surface. The import path is derived from
+// the directory, so files under internal/sparse (etc.) pick up the
+// policy.Hot implicit nobce contract exactly like the real module.
+func writeSurface(t *testing.T, files map[string]string) *Surface {
+	t.Helper()
+	root := t.TempDir()
+	byDir := make(map[string][]string)
+	for rel, content := range files {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		byDir[dir] = append(byDir[dir], rel)
+	}
+	s := NewSurface()
+	for dir, fs := range byDir {
+		if err := s.AddPackage(root, "powerrchol/"+dir, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+const kernelSrc = `package sparse
+
+// LowerSolve is a hot kernel: implicit nobce via policy.
+//
+//pgopt:noescape scratch must stay on the caller's stack
+func LowerSolve(x []float64) {
+	for i := range x {
+		x[i] *= 2
+	}
+}
+
+//pgopt:inline one call per iteration
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func plain(x []float64) float64 { return x[0] }
+`
+
+func TestSurfaceContracts(t *testing.T) {
+	s := writeSurface(t, map[string]string{"internal/sparse/k.go": kernelSrc})
+	fns := s.Funcs()
+	if len(fns) != 3 {
+		t.Fatalf("got %d funcs, want 3", len(fns))
+	}
+	byName := make(map[string]*Func)
+	for _, fn := range fns {
+		byName[fn.Name] = fn
+	}
+	ls := byName["LowerSolve"]
+	if ls == nil || !ls.Contracted(ContractNoBCE) || !ls.Contracted(ContractNoEscape) {
+		t.Fatalf("LowerSolve contracts = %+v, want implicit nobce + declared noescape", ls)
+	}
+	if byName["plain"] == nil || !byName["plain"].Contracted(ContractNoBCE) {
+		t.Fatal("plain func in a hot package must carry the implicit nobce contract")
+	}
+	if byName["plain"].Contracted(ContractInline) {
+		t.Fatal("plain func must not inherit a neighbor's inline contract")
+	}
+	if !byName["Dot"].Contracted(ContractInline) {
+		t.Fatal("Dot must carry the declared inline contract")
+	}
+	if got := s.FuncAt("internal/sparse/k.go", ls.Start+1); got != ls {
+		t.Fatalf("FuncAt inside LowerSolve = %v", got)
+	}
+	if got := s.FuncAt("internal/sparse/k.go", 1); got != nil {
+		t.Fatalf("FuncAt package clause = %v, want nil", got)
+	}
+	if !s.HotFile("internal/sparse/k.go") {
+		t.Fatal("k.go must be a hot file")
+	}
+}
+
+func TestSurfaceColdPackageHasNoImplicitContract(t *testing.T) {
+	s := writeSurface(t, map[string]string{"internal/powergrid/p.go": `package powergrid
+
+func Parse(x []float64) float64 { return x[0] }
+`})
+	fn := s.Funcs()[0]
+	if fn.Contracted(ContractNoBCE) {
+		t.Fatal("non-hot numeric package must not carry the implicit nobce contract")
+	}
+}
+
+func TestSurfaceMalformedDirectives(t *testing.T) {
+	s := writeSurface(t, map[string]string{"internal/sparse/bad.go": `package sparse
+
+//pgopt:fastpath because I said so
+func A() {}
+
+//pgopt:inline
+func B() {}
+
+//pgopt:noescape floating annotation with no declaration below
+
+var x int
+`})
+	if len(s.Problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %+v", len(s.Problems), s.Problems)
+	}
+	for _, p := range s.Problems {
+		if p.Rule != RuleDirective {
+			t.Errorf("problem rule = %q, want %q", p.Rule, RuleDirective)
+		}
+	}
+	// Malformed directives must not arm contracts.
+	for _, fn := range s.Funcs() {
+		if fn.Contracted(ContractInline) || fn.Contracted(ContractNoEscape) {
+			t.Errorf("malformed directive armed a contract on %s: %+v", fn.Name, fn.Contracts)
+		}
+	}
+}
+
+func TestCheckAttributionAndAggregation(t *testing.T) {
+	s := writeSurface(t, map[string]string{"internal/sparse/k.go": kernelSrc})
+	var lsStart int
+	for _, fn := range s.Funcs() {
+		if fn.Name == "LowerSolve" {
+			lsStart = fn.Start
+		}
+	}
+	file := "internal/sparse/k.go"
+	diags := []Diag{
+		// Two same-message bounds checks in LowerSolve: one finding, count 2.
+		{File: file, Line: lsStart + 1, Col: 3, Kind: DiagBoundsCheck, Message: "Found IsInBounds"},
+		{File: file, Line: lsStart + 2, Col: 3, Kind: DiagBoundsCheck, Message: "Found IsInBounds"},
+		// An escape in the noescape function.
+		{File: file, Line: lsStart + 1, Col: 3, Kind: DiagEscape, Message: "x escapes to heap", Detail: []string{"flow: ..."}},
+		// Inline verdicts: Dot refused, LowerSolve fine (not contracted inline).
+		{File: file, Line: 1, Col: 1, Kind: DiagCannotInline, Message: "cannot inline Dot: function too complex: cost 99 exceeds budget 80", FuncName: "Dot"},
+		// Positionally inside Dot but named after another function: ignored.
+		{File: file, Line: 1, Col: 1, Kind: DiagCanInline, Message: "can inline LowerSolve with cost 9 as: ...", FuncName: "LowerSolve"},
+		// A diagnostic outside any surface file: ignored.
+		{File: "internal/other/x.go", Line: 3, Col: 1, Kind: DiagBoundsCheck, Message: "Found IsInBounds"},
+		// Autogenerated wrappers: ignored.
+		{File: "<autogenerated>", Line: 1, Kind: DiagBoundsCheck, Message: "Found IsInBounds"},
+	}
+	// The named-function guard: attach the inline verdicts to their spans.
+	for i := range diags {
+		if diags[i].FuncName == "Dot" || diags[i].FuncName == "LowerSolve" {
+			for _, fn := range s.Funcs() {
+				if fn.Name == diags[i].FuncName {
+					diags[i].Line = fn.Start
+				}
+			}
+		}
+	}
+	findings, _ := Check(s, diags)
+	byRule := make(map[string][]Finding)
+	for _, f := range findings {
+		byRule[f.Rule] = append(byRule[f.Rule], f)
+	}
+	if n := len(byRule[RuleBCE]); n != 1 {
+		t.Fatalf("bce findings = %d (%+v), want 1 aggregated", n, byRule[RuleBCE])
+	}
+	if f := byRule[RuleBCE][0]; f.Count != 2 || f.Func != "LowerSolve" || f.Line != f.Line {
+		t.Errorf("bce finding = %+v, want count 2 on LowerSolve", f)
+	}
+	if n := len(byRule[RuleEscape]); n != 1 {
+		t.Fatalf("escape findings = %d, want 1", n)
+	}
+	if f := byRule[RuleEscape][0]; len(f.Detail) != 1 {
+		t.Errorf("escape detail lost: %+v", f)
+	}
+	if n := len(byRule[RuleInline]); n != 1 {
+		t.Fatalf("inline findings = %d, want 1", n)
+	}
+	if f := byRule[RuleInline][0]; f.Func != "Dot" || len(f.Detail) != 1 || f.Detail[0] != "function too complex: cost 99 exceeds budget 80" {
+		t.Errorf("inline finding = %+v", f)
+	}
+	if n := len(byRule[RuleSkew]); n != 0 {
+		t.Fatalf("unexpected skew findings: %+v", byRule[RuleSkew])
+	}
+}

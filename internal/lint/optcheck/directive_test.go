@@ -1,0 +1,97 @@
+package optcheck
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func TestParseDirectives(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want []Directive
+	}{
+		{"not a directive", "// plain comment", nil},
+		{"spaced marker is not a directive", "// pgopt:inline reason", nil},
+		{"single", "//pgopt:inline one call per iteration", []Directive{{"inline", "one call per iteration"}}},
+		{"no reason", "//pgopt:noescape", []Directive{{"noescape", ""}}},
+		{"blank reason", "//pgopt:noescape   ", []Directive{{"noescape", ""}}},
+		{"comma list shares the reason", "//pgopt:nobce,noescape hot trisolve kernel",
+			[]Directive{{"nobce", "hot trisolve kernel"}, {"noescape", "hot trisolve kernel"}}},
+		{"repeated markers split", "//pgopt:inline small //pgopt:noescape stack scratch",
+			[]Directive{{"inline", "small"}, {"noescape", "stack scratch"}}},
+		{"unknown name still parses", "//pgopt:fast because", []Directive{{"fast", "because"}}},
+		{"crlf stripped", "//pgopt:inline reason\r\n", []Directive{{"inline", "reason"}}},
+		{"directive never spans lines", "//pgopt:inline reason\njunk on a second line", []Directive{{"inline", "reason"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ParseDirectives(tc.text)
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParseDirectives(%q) = %v, want %v", tc.text, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("directive %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestKnownContract(t *testing.T) {
+	for _, name := range KnownContracts() {
+		if !KnownContract(name) {
+			t.Errorf("KnownContract(%q) = false for a listed contract", name)
+		}
+	}
+	for _, name := range []string{"", "nobc", "NOBCE", "inline "} {
+		if KnownContract(name) {
+			t.Errorf("KnownContract(%q) = true", name)
+		}
+	}
+}
+
+// FuzzParseOptDirective pins the grammar's safety properties: the parser
+// never panics, returns nothing for non-directive text, and never
+// launders a reasonless or multi-line directive into a well-formed one —
+// a Directive with Reason == "" stays visibly malformed so the surface
+// builder reports it instead of silently arming a contract.
+func FuzzParseOptDirective(f *testing.F) {
+	f.Add("//pgopt:inline tiny helper on the PCG path")
+	f.Add("//pgopt:nobce,noescape hot kernel")
+	f.Add("//pgopt:noescape")
+	f.Add("//pgopt:inline a //pgopt:noescape b")
+	f.Add("//pgopt:")
+	f.Add("// pgopt:inline nope")
+	f.Add("//pgopt:inline reason\r\n")
+	f.Add("//pgopt:x\n//pgopt:y z")
+	f.Fuzz(func(t *testing.T, text string) {
+		ds := ParseDirectives(text)
+		if !strings.HasPrefix(text, Prefix) && ds != nil {
+			t.Fatalf("non-directive text %q produced directives %v", text, ds)
+		}
+		for _, d := range ds {
+			if strings.ContainsAny(d.Name, "\r\n") || strings.ContainsAny(d.Reason, "\r\n") {
+				t.Fatalf("directive from %q carries a line break: %+v", text, d)
+			}
+			if d.Reason != strings.TrimFunc(d.Reason, unicode.IsSpace) {
+				t.Fatalf("reason not trimmed in %+v from %q", d, text)
+			}
+			// A contract the checker would arm must carry a reason or be
+			// reported: the pair (known name, empty reason) is exactly what
+			// Surface.AddPackage turns into a rule "directive" finding, so the
+			// parser must preserve the emptiness rather than invent text.
+			if KnownContract(d.Name) && d.Reason == "" && strings.Contains(strings.SplitN(text, "\n", 2)[0], d.Name+" ") {
+				rest := text[strings.Index(text, d.Name)+len(d.Name):]
+				if i := strings.IndexAny(rest, "\r\n"); i >= 0 {
+					rest = rest[:i]
+				}
+				if strings.TrimSpace(strings.TrimPrefix(rest, " ")) != "" && !strings.Contains(rest, Prefix) && !strings.HasPrefix(rest, ",") {
+					t.Fatalf("reason text %q after %q was dropped entirely (%+v)", rest, d.Name, d)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package optcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+
+	"powerrchol/internal/lint/policy"
+)
+
+// BuildFlags is the exact gcflags payload the checker compiles with:
+// full escape-analysis explanations (-m=2) and the SSA pass's
+// bounds-check report. Keeping it a constant means the golden fixtures,
+// the Makefile documentation and the runner cannot drift apart.
+const BuildFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// Config parameterizes a checker run.
+type Config struct {
+	// Root is the module root the build runs from; file paths in
+	// findings are relative to it.
+	Root string
+	// Patterns are the package patterns to check. Empty means the
+	// policy.Hot surface (the four kernel packages).
+	Patterns []string
+	// GoBin overrides the go tool path ("go" when empty).
+	GoBin string
+}
+
+// DefaultPatterns returns the policy.Hot packages as ./-relative build
+// patterns — the contract surface cmd/pgoptcheck checks by default.
+func DefaultPatterns() []string {
+	hot := policy.HotPackages()
+	out := make([]string, len(hot))
+	for i, p := range hot {
+		out[i] = "./" + p
+	}
+	return out
+}
+
+// A Report is the outcome of one checker run.
+type Report struct {
+	Findings []Finding
+	Stats    Stats
+	Surface  *Surface
+}
+
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// Run executes the full pipeline: list the packages, parse their
+// sources into the contract surface, compile them with BuildFlags, and
+// reconcile the compiler's diagnostics against the surface.
+//
+// Run never reports a silent clean on a broken toolchain: a build that
+// produces no inlining verdicts at all (every compiled function gets
+// exactly one) is a format-skew error, not an empty finding list.
+func Run(cfg Config) (*Report, error) {
+	goBin := cfg.GoBin
+	if goBin == "" {
+		goBin = "go"
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = DefaultPatterns()
+	}
+
+	pkgs, err := listPackages(goBin, cfg.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("optcheck: no packages match %v", patterns)
+	}
+
+	surface := NewSurface()
+	args := []string{"build"}
+	for _, p := range pkgs {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = p.Dir + "/" + f
+		}
+		if err := surface.AddPackage(cfg.Root, p.ImportPath, files); err != nil {
+			return nil, err
+		}
+		args = append(args, "-gcflags="+p.ImportPath+"="+BuildFlags)
+	}
+	for _, p := range pkgs {
+		args = append(args, p.ImportPath)
+	}
+
+	// The compiler prints every diagnostic to stderr; the go command
+	// replays them from the build cache on unchanged inputs, so repeated
+	// runs are cheap and CI can reuse its Go build cache.
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = cfg.Root
+	var stderr bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("optcheck: go build failed: %w\n%s", err, stderr.String())
+	}
+
+	diags, err := ParseDiagnostics(&stderr)
+	if err != nil {
+		return nil, err
+	}
+	findings, stats := Check(surface, diags)
+	if stats.CanInline+stats.CannotInline == 0 {
+		return nil, fmt.Errorf("optcheck: the compiler emitted no inlining diagnostics for %d package(s) — "+
+			"the -m output format has changed (toolchain skew) or the build flags were dropped; refusing to report a clean result", len(pkgs))
+	}
+	return &Report{Findings: findings, Stats: stats, Surface: surface}, nil
+}
+
+func listPackages(goBin, root string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("optcheck: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("optcheck: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

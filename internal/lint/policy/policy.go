@@ -108,6 +108,16 @@ func RandSanctioned(path string) bool { return inSet(path, randSanctioned) }
 // subject to the hotalloc innermost-loop allocation rules.
 func Hot(path string) bool { return inSet(path, hot) }
 
+// HotPackages returns the module-relative paths of the hot kernel
+// packages — the surface pgoptcheck compiles with diagnostic flags and
+// holds to the bounds-check contract. Returned as a copy so callers
+// cannot mutate the policy table.
+func HotPackages() []string {
+	out := make([]string, len(hot))
+	copy(out, hot)
+	return out
+}
+
 // Orchestration reports whether the package at path is kernel
 // orchestration: not a numeric kernel (ambient time allowed for phase
 // timings), but swept by the ctxflow loop-cancellation rule and the

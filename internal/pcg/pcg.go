@@ -39,10 +39,16 @@ func NewJacobi(a *sparse.CSC) (*Jacobi, error) {
 	return &Jacobi{InvDiag: inv}, nil
 }
 
-// Apply scales the residual by the inverse diagonal.
+// Apply scales the residual by the inverse diagonal. Both operands are
+// resliced to the residual's length up front so the element accesses
+// carry no bounds checks (pgoptcheck rule bce).
+//
+//pgopt:noescape,inline one diagonal scaling per PCG iteration
 func (j *Jacobi) Apply(z, r []float64) {
+	z = z[:len(r)]
+	inv := j.InvDiag[:len(r)]
 	for i, v := range r {
-		z[i] = v * j.InvDiag[i]
+		z[i] = v * inv[i]
 	}
 }
 
@@ -260,8 +266,9 @@ func solveOp(n int, mul func(y, x []float64), b, x0 []float64, m Preconditioner,
 		}
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
+		zp := z[:len(p)]
+		for i, pv := range p {
+			p[i] = zp[i] + beta*pv
 		}
 	}
 	if res.Converged {

@@ -55,31 +55,49 @@ func (s *SSOR) Apply(z, r []float64) {
 	defer s.pool.Put(w)
 	a, om := s.a, s.omega
 	n := a.Rows
+	// Hoisted operand windows and a carried column-pointer walk (see
+	// sparse/trisolve.go) leave only the data-dependent scatter/gather
+	// bounds-checked; the sweep arithmetic is order-identical.
+	w = w[:n]
+	z = z[:n]
+	diag := s.diag[:n]
+	colPtr, rowIdx, val := a.ColPtr, a.RowIdx, a.Val
 	// forward: (D/ω + L)·w = r, traversing columns ascending and
 	// scattering column i's below-diagonal entries after w[i] is final.
 	copy(w, r)
-	for i := 0; i < n; i++ {
-		w[i] *= om / s.diag[i]
+	p := colPtr[0]
+	for i, end := range colPtr[1 : n+1 : n+1] {
+		w[i] *= om / diag[i]
 		wi := w[i]
-		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			if j := a.RowIdx[p]; j > i {
-				w[j] -= a.Val[p] * wi
+		rows := rowIdx[p:end]
+		vals := val[p:end]
+		vals = vals[:len(rows)]
+		for k, j := range rows {
+			if j > i {
+				w[j] -= vals[k] * wi
 			}
 		}
+		p = end
 	}
 	// scale by D/ω · (2-ω)/ω  =>  overall (2−ω)/ω · D
-	for i := 0; i < n; i++ {
-		w[i] *= (2 - om) / om * s.diag[i]
+	for i := range w {
+		w[i] *= (2 - om) / om * diag[i]
 	}
 	// backward: (D/ω + Lᵀ)·z = w, gathering column i's below-diagonal
 	// entries (= row i of Lᵀ) from already-final z[j], j > i.
+	end := colPtr[n]
 	for i := n - 1; i >= 0; i-- {
+		p := colPtr[i]
 		sum := w[i]
-		for p := a.ColPtr[i]; p < a.ColPtr[i+1]; p++ {
-			if j := a.RowIdx[p]; j > i {
-				sum -= a.Val[p] * z[j]
+		rows := rowIdx[p:end]
+		vals := val[p:end]
+		vals = vals[:len(rows)]
+		for k, j := range rows {
+			if j > i {
+				sum -= vals[k] * z[j]
 			}
 		}
-		z[i] = sum * om / s.diag[i]
+		z[i] = sum * om / diag[i]
+		end = p
 	}
 }

@@ -160,31 +160,54 @@ func (a *CSC) Transpose() *CSC {
 }
 
 // MulVec computes y = A·x. len(x) must be Cols and len(y) must be Rows.
+// The column walk carries each column's end into the next iteration and
+// scatters from a hoisted window, leaving only the data-dependent y
+// scatter checked (pgoptcheck rule bce).
+//
+//pgopt:noescape scatter-form SpMV used by residual checks and tests
 func (a *CSC) MulVec(y, x []float64) {
 	for i := range y {
 		y[i] = 0
 	}
-	for j := 0; j < a.Cols; j++ {
+	n := a.Cols
+	x = x[:n]
+	p := a.ColPtr[0]
+	for j, end := range a.ColPtr[1 : n+1 : n+1] {
 		xj := x[j]
 		if xj == 0 {
+			p = end
 			continue
 		}
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			y[a.RowIdx[p]] += a.Val[p] * xj
+		rows := a.RowIdx[p:end]
+		vals := a.Val[p:end]
+		vals = vals[:len(rows)]
+		for k, i := range rows {
+			y[i] += vals[k] * xj
 		}
+		p = end
 	}
 }
 
 // MulVecAdd computes y += alpha·A·x without zeroing y first.
+//
+//pgopt:noescape fused update form of MulVec, same walk
 func (a *CSC) MulVecAdd(y []float64, alpha float64, x []float64) {
-	for j := 0; j < a.Cols; j++ {
+	n := a.Cols
+	x = x[:n]
+	p := a.ColPtr[0]
+	for j, end := range a.ColPtr[1 : n+1 : n+1] {
 		axj := alpha * x[j]
 		if axj == 0 {
+			p = end
 			continue
 		}
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			y[a.RowIdx[p]] += a.Val[p] * axj
+		rows := a.RowIdx[p:end]
+		vals := a.Val[p:end]
+		vals = vals[:len(rows)]
+		for k, i := range rows {
+			y[i] += vals[k] * axj
 		}
+		p = end
 	}
 }
 

@@ -47,14 +47,26 @@ func (a *CSC) ToCSR() *CSR {
 // NNZ returns the stored entry count.
 func (a *CSR) NNZ() int { return a.RowPtr[a.Rows] }
 
-// MulVec computes y = A·x row by row.
+// MulVec computes y = A·x row by row. The row-pointer walk carries each
+// row's end into the next iteration and ranges over the per-row window,
+// so only the data-dependent x gather keeps a bounds check (pgoptcheck
+// rule bce); the accumulation order is unchanged.
+//
+//pgopt:noescape one SpMV per PCG iteration; scratch-free by design
 func (a *CSR) MulVec(y, x []float64) {
-	for i := 0; i < a.Rows; i++ {
+	n := a.Rows
+	y = y[:n]
+	p := a.RowPtr[0]
+	for i, end := range a.RowPtr[1 : n+1 : n+1] {
+		cols := a.ColIdx[p:end]
+		vals := a.Val[p:end]
+		vals = vals[:len(cols)]
 		var s float64
-		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-			s += a.Val[p] * x[a.ColIdx[p]]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		y[i] = s
+		p = end
 	}
 }
 
@@ -69,6 +81,7 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 	bp := getBounds(workers + 1)
 	bounds := *bp
 	nnzPartitionInto(bounds, a.RowPtr, a.Rows, workers)
+	rowPtr, colIdx, val := a.RowPtr, a.ColIdx, a.Val
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -79,12 +92,18 @@ func (a *CSR) MulVecParallel(y, x []float64, workers int) {
 		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			ys := y[lo:hi]
+			p := rowPtr[lo]
+			for i, end := range rowPtr[lo+1 : hi+1] {
+				cols := colIdx[p:end]
+				vals := val[p:end]
+				vals = vals[:len(cols)]
 				var s float64
-				for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
-					s += a.Val[p] * x[a.ColIdx[p]]
+				for k, c := range cols {
+					s += vals[k] * x[c]
 				}
-				y[i] = s
+				ys[i] = s
+				p = end
 			}
 		}(lo, hi)
 	}

@@ -128,9 +128,12 @@ func DotPar(x, y []float64, workers int) float64 {
 		return Dot(x, y)
 	}
 	return parBlocks(len(x), workers, func(lo, hi int) float64 {
+		xs := x[lo:hi]
+		ys := y[lo:hi]
+		ys = ys[:len(xs)]
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += x[i] * y[i]
+		for i, v := range xs {
+			s += v * ys[i]
 		}
 		return s
 	})
@@ -144,8 +147,8 @@ func Norm2Par(x []float64, workers int) float64 {
 	}
 	return math.Sqrt(parBlocks(len(x), workers, func(lo, hi int) float64 {
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += x[i] * x[i]
+		for _, v := range x[lo:hi] {
+			s += v * v
 		}
 		return s
 	}))
@@ -160,8 +163,11 @@ func AxpyPar(y []float64, alpha float64, x []float64, workers int) {
 		return
 	}
 	parRange(len(x), workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] += alpha * x[i]
+		ys := y[lo:hi]
+		xs := x[lo:hi]
+		xs = xs[:len(ys)]
+		for i, v := range xs {
+			ys[i] += alpha * v
 		}
 	})
 }
@@ -170,13 +176,21 @@ func AxpyPar(y []float64, alpha float64, x []float64, workers int) {
 // of column j with x. For a symmetric matrix this equals A·x, which is
 // how the solvers use it — the gather form has no scatter races, so it
 // row-partitions trivially (see MulVecTransParallel).
+//pgopt:noescape gather-form SpMV on the per-iteration path
 func (a *CSC) MulVecTrans(y, x []float64) {
-	for j := 0; j < a.Cols; j++ {
+	n := a.Cols
+	y = y[:n]
+	p := a.ColPtr[0]
+	for j, end := range a.ColPtr[1 : n+1 : n+1] {
+		rows := a.RowIdx[p:end]
+		vals := a.Val[p:end]
+		vals = vals[:len(rows)]
 		var s float64
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			s += a.Val[p] * x[a.RowIdx[p]]
+		for k, i := range rows {
+			s += vals[k] * x[i]
 		}
 		y[j] = s
+		p = end
 	}
 }
 
@@ -193,6 +207,7 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 	bp := getBounds(workers + 1)
 	bounds := *bp
 	nnzPartitionInto(bounds, a.ColPtr, a.Cols, workers)
+	colPtr, rowIdx, val := a.ColPtr, a.RowIdx, a.Val
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -203,12 +218,18 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 		//pglint:hotalloc one closure per worker per call, bounded by the worker count, fenced by wg.Wait
 		go func(lo, hi int) {
 			defer wg.Done()
-			for j := lo; j < hi; j++ {
+			ys := y[lo:hi]
+			p := colPtr[lo]
+			for j, end := range colPtr[lo+1 : hi+1] {
+				rows := rowIdx[p:end]
+				vals := val[p:end]
+				vals = vals[:len(rows)]
 				var s float64
-				for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-					s += a.Val[p] * x[a.RowIdx[p]]
+				for k, i := range rows {
+					s += vals[k] * x[i]
 				}
-				y[j] = s
+				ys[j] = s
+				p = end
 			}
 		}(lo, hi)
 	}
@@ -222,6 +243,8 @@ func (a *CSC) MulVecTransParallel(y, x []float64, workers int) {
 // fresh slice so callers on the per-iteration PCG path can reuse pooled
 // scratch.
 func nnzPartitionInto(bounds, ptr []int, n, workers int) {
+	bounds = bounds[: workers+1 : workers+1]
+	ptr = ptr[: n+1 : n+1]
 	bounds[0] = 0
 	nnz := ptr[n]
 	at := 0

@@ -56,15 +56,23 @@ func PermuteVec(x []float64, perm []int) []float64 {
 	return y
 }
 
-// PermuteVecInto is PermuteVec writing into caller storage.
+// PermuteVecInto is PermuteVec writing into caller storage. The dense
+// operand is resliced to the permutation's length up front, so only the
+// data-dependent side of the gather keeps its bounds check.
+//
+//pgopt:noescape,inline runs on every preconditioner application when the factor is permuted
 func PermuteVecInto(y, x []float64, perm []int) {
+	y = y[:len(perm)]
 	for newIdx, oldIdx := range perm {
 		y[newIdx] = x[oldIdx]
 	}
 }
 
 // UnpermuteVecInto inverts PermuteVecInto: y[perm[newIdx]] = x[newIdx].
+//
+//pgopt:noescape,inline runs on every preconditioner application when the factor is permuted
 func UnpermuteVecInto(y, x []float64, perm []int) {
+	x = x[:len(perm)]
 	for newIdx, oldIdx := range perm {
 		y[oldIdx] = x[newIdx]
 	}

@@ -3,20 +3,38 @@ package sparse
 // The triangular solves in this file are the inner kernel of every
 // factorization-based preconditioner: applying M⁻¹ = L⁻ᵀ·L⁻¹ costs one
 // forward and one backward solve per PCG iteration.
+//
+// Each kernel walks the column pointer without re-indexing it: CSC
+// column pointers are contiguous, so one column's end is the next
+// column's start, and the walk carries that value across iterations
+// (forward solves range over colPtr[1:n+1], backward solves carry end
+// downward). Together with hoisting the column window into a pair of
+// equal-length slices, this proves every index except the
+// data-dependent gather/scatter through the row indices in bounds
+// (pgoptcheck rule bce; DESIGN.md §13). None of the restructuring
+// reorders a floating-point operation, so every solve stays bitwise
+// identical to its pre-hint form.
 
 // LowerSolve solves L·x = b in place (x aliases b on entry) for a lower
 // triangular matrix stored in CSC with the diagonal as the FIRST entry of
 // each column. This layout is produced by all factorizations in this
 // repository.
+//
+//pgopt:noescape applied once per PCG iteration; must not heap-allocate on the solve path
 func LowerSolve(l *CSC, x []float64) {
-	for j := 0; j < l.Cols; j++ {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+	n := l.Cols
+	x = x[:n]
+	p := l.ColPtr[0]
+	for j, end := range l.ColPtr[1 : n+1 : n+1] {
 		xj := x[j] / l.Val[p]
 		x[j] = xj
-		for p++; p < end; p++ {
-			x[l.RowIdx[p]] -= l.Val[p] * xj
+		rows := l.RowIdx[p+1 : end]
+		vals := l.Val[p+1 : end]
+		vals = vals[:len(rows)]
+		for k, i := range rows {
+			x[i] -= vals[k] * xj
 		}
+		p = end
 	}
 }
 
@@ -24,27 +42,46 @@ func LowerSolve(l *CSC, x []float64) {
 // as LowerSolve (lower triangular CSC, diagonal first per column). Row i of
 // Lᵀ is column i of L, so the backward substitution is a per-column dot
 // product.
+//
+//pgopt:noescape applied once per PCG iteration; must not heap-allocate on the solve path
 func LowerTransposeSolve(l *CSC, x []float64) {
-	for j := l.Cols - 1; j >= 0; j-- {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+	n := l.Cols
+	x = x[:n]
+	colPtr := l.ColPtr
+	end := colPtr[n]
+	for j := n - 1; j >= 0; j-- {
+		p := colPtr[j]
 		sum := x[j]
-		for q := p + 1; q < end; q++ {
-			sum -= l.Val[q] * x[l.RowIdx[q]]
+		rows := l.RowIdx[p+1 : end]
+		vals := l.Val[p+1 : end]
+		vals = vals[:len(rows)]
+		for k := range vals {
+			sum -= vals[k] * x[rows[k]]
 		}
 		x[j] = sum / l.Val[p]
+		end = p
 	}
 }
 
 // UpperSolve solves U·x = b in place for an upper triangular CSC matrix
 // with the diagonal as the LAST entry of each column.
+//
+//pgopt:noescape backward-substitution twin of LowerSolve, same per-iteration budget
 func UpperSolve(u *CSC, x []float64) {
-	for j := u.Cols - 1; j >= 0; j-- {
-		end := u.ColPtr[j+1] - 1
-		xj := x[j] / u.Val[end]
+	n := u.Cols
+	x = x[:n]
+	colPtr := u.ColPtr
+	end := colPtr[n]
+	for j := n - 1; j >= 0; j-- {
+		p := colPtr[j]
+		xj := x[j] / u.Val[end-1]
 		x[j] = xj
-		for p := u.ColPtr[j]; p < end; p++ {
-			x[u.RowIdx[p]] -= u.Val[p] * xj
+		rows := u.RowIdx[p : end-1]
+		vals := u.Val[p : end-1]
+		vals = vals[:len(rows)]
+		for k, i := range rows {
+			x[i] -= vals[k] * xj
 		}
+		end = p
 	}
 }

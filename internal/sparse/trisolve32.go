@@ -8,30 +8,48 @@ package sparse
 
 // LowerSolve32 solves L·x = b in place for a lower triangular CSC32
 // with the diagonal first in each column. Bitwise identical to
-// LowerSolve on the widened matrix.
+// LowerSolve on the widened matrix, and walks the column pointer the
+// same way: one column's end is the next column's start, so the walk
+// carries it instead of re-indexing ColPtr (pgoptcheck rule bce).
+//
+//pgopt:noescape compact-factor forward solve, once per PCG iteration
 func LowerSolve32(l *CSC32, x []float64) {
-	for j := 0; j < l.Cols; j++ {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+	n := l.Cols
+	x = x[:n]
+	p := l.ColPtr[0]
+	for j, end := range l.ColPtr[1 : n+1 : n+1] {
 		xj := x[j] / l.Val[p]
 		x[j] = xj
-		for p++; p < end; p++ {
-			x[l.RowIdx[p]] -= l.Val[p] * xj
+		rows := l.RowIdx[p+1 : end]
+		vals := l.Val[p+1 : end]
+		vals = vals[:len(rows)]
+		for k, i := range rows {
+			x[i] -= vals[k] * xj
 		}
+		p = end
 	}
 }
 
 // LowerTransposeSolve32 solves Lᵀ·x = b in place for the same layout;
 // bitwise identical to LowerTransposeSolve on the widened matrix.
+//
+//pgopt:noescape compact-factor backward solve, once per PCG iteration
 func LowerTransposeSolve32(l *CSC32, x []float64) {
-	for j := l.Cols - 1; j >= 0; j-- {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+	n := l.Cols
+	x = x[:n]
+	colPtr := l.ColPtr
+	end := colPtr[n]
+	for j := n - 1; j >= 0; j-- {
+		p := colPtr[j]
 		sum := x[j]
-		for q := p + 1; q < end; q++ {
-			sum -= l.Val[q] * x[l.RowIdx[q]]
+		rows := l.RowIdx[p+1 : end]
+		vals := l.Val[p+1 : end]
+		vals = vals[:len(rows)]
+		for k := range vals {
+			sum -= vals[k] * x[rows[k]]
 		}
 		x[j] = sum / l.Val[p]
+		end = p
 	}
 }
 
@@ -104,13 +122,18 @@ func (t *TriSolver32) LowerSolve(x []float64, workers int) {
 		LowerSolve32(t.l, x)
 		return
 	}
+	rowPtr, colIdx, val := t.rowPtr, t.colIdx, t.val
 	runLevels(t.fOrder, t.fPtr, t.minParallel, workers, func(j int) {
-		end := t.rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		p := rowPtr[j]
+		end := rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		cols := colIdx[p:end]
+		vals := val[p:end]
+		vals = vals[:len(cols)]
 		s := x[j]
-		for p := t.rowPtr[j]; p < end; p++ {
-			s -= t.val[p] * x[t.colIdx[p]]
+		for k, c := range cols {
+			s -= vals[k] * x[c]
 		}
-		x[j] = s / t.val[end]
+		x[j] = s / val[end]
 	})
 }
 
@@ -121,14 +144,17 @@ func (t *TriSolver32) LowerTransposeSolve(x []float64, workers int) {
 		LowerTransposeSolve32(t.l, x)
 		return
 	}
-	l := t.l
+	colPtr, rowIdx, val := t.l.ColPtr, t.l.RowIdx, t.l.Val
 	runLevels(t.bOrder, t.bPtr, t.minParallel, workers, func(j int) {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+		p := colPtr[j]
+		end := colPtr[j+1]
+		rows := rowIdx[p+1 : end]
+		vals := val[p+1 : end]
+		vals = vals[:len(rows)]
 		s := x[j]
-		for q := p + 1; q < end; q++ {
-			s -= l.Val[q] * x[l.RowIdx[q]]
+		for k := range vals {
+			s -= vals[k] * x[rows[k]]
 		}
-		x[j] = s / l.Val[p]
+		x[j] = s / val[p]
 	})
 }

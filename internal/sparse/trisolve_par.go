@@ -116,13 +116,18 @@ func (t *TriSolver) LowerSolve(x []float64, workers int) {
 		LowerSolve(t.l, x)
 		return
 	}
+	rowPtr, colIdx, val := t.rowPtr, t.colIdx, t.val
 	runLevels(t.fOrder, t.fPtr, t.minParallel, workers, func(j int) {
-		end := t.rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		p := rowPtr[j]
+		end := rowPtr[j+1] - 1 // diagonal is last (rows sorted by column)
+		cols := colIdx[p:end]
+		vals := val[p:end]
+		vals = vals[:len(cols)]
 		s := x[j]
-		for p := t.rowPtr[j]; p < end; p++ {
-			s -= t.val[p] * x[t.colIdx[p]]
+		for k, c := range cols {
+			s -= vals[k] * x[c]
 		}
-		x[j] = s / t.val[end]
+		x[j] = s / val[end]
 	})
 }
 
@@ -133,15 +138,18 @@ func (t *TriSolver) LowerTransposeSolve(x []float64, workers int) {
 		LowerTransposeSolve(t.l, x)
 		return
 	}
-	l := t.l
+	colPtr, rowIdx, val := t.l.ColPtr, t.l.RowIdx, t.l.Val
 	runLevels(t.bOrder, t.bPtr, t.minParallel, workers, func(j int) {
-		p := l.ColPtr[j]
-		end := l.ColPtr[j+1]
+		p := colPtr[j]
+		end := colPtr[j+1]
+		rows := rowIdx[p+1 : end]
+		vals := val[p+1 : end]
+		vals = vals[:len(rows)]
 		s := x[j]
-		for q := p + 1; q < end; q++ {
-			s -= l.Val[q] * x[l.RowIdx[q]]
+		for k := range vals {
+			s -= vals[k] * x[rows[k]]
 		}
-		x[j] = s / l.Val[p]
+		x[j] = s / val[p]
 	})
 }
 

@@ -5,9 +5,16 @@ import "math"
 // Small dense-vector helpers shared by the iterative solvers. They are
 // deliberately plain loops: at the sizes this repository targets the
 // kernels are memory bound and the compiler vectorizes them adequately.
+// Each pairwise kernel reslices its second operand to the ranged
+// length, so the per-element partner access carries no bounds check
+// (pgoptcheck rule bce) — a length mismatch still panics, merely at the
+// reslice instead of mid-loop.
 
 // Dot returns xᵀ·y.
+//
+//pgopt:inline,noescape called per PCG iteration and from every partial-sum worker
 func Dot(x, y []float64) float64 {
+	y = y[:len(x)]
 	var s float64
 	for i, v := range x {
 		s += v * y[i]
@@ -16,6 +23,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of x.
+//
+//pgopt:inline,noescape called per PCG iteration for the residual test
 func Norm2(x []float64) float64 {
 	var s float64
 	for _, v := range x {
@@ -39,7 +48,10 @@ func NormInf(x []float64) float64 {
 }
 
 // Axpy computes y += alpha·x.
+//
+//pgopt:inline,noescape called twice per PCG iteration and from every blocked worker
 func Axpy(y []float64, alpha float64, x []float64) {
+	y = y[:len(x)]
 	for i, v := range x {
 		y[i] += alpha * v
 	}
