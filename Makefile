@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build test vet lint lint-list lint-sarif lint-summaries optcheck optcheck-build optcheck-diff race fuzz soak load bench bench-json bench-json-smoke cover tables examples clean
+.PHONY: all check build test vet lint lint-list lint-sarif lint-summaries optcheck optcheck-build optcheck-diff race fuzz soak load study-smoke bench bench-json bench-json-smoke cover tables examples clean
 
 all: check
 
 # check is the default CI gate: tier-1 build+tests, vet, pglint, the
 # compiler-diagnostics contract gate (pgoptcheck), the race detector over
-# the short case set, and a short-budget fuzz pass.
-check: build vet lint optcheck test race fuzz
+# the short case set, a short-budget fuzz pass, and a short-horizon
+# pgstudy run of both workload studies.
+check: build vet lint optcheck test race fuzz study-smoke
 
 build:
 	$(GO) build ./...
@@ -112,10 +113,24 @@ fuzz:
 # stretched duration: fault-injected factorizations and preconditioners,
 # cancelled/slow/garbage clients, and overload, with every 200 response
 # checked bitwise against a one-shot Solve referee and a goroutine-leak
-# gate at shutdown. SOAKTIME is per scenario.
+# gate at shutdown. SOAKTIME is per scenario. The test-binary flag must
+# come after the package path: go test stops its own flag parsing at the
+# first flag it does not recognize, and everything after it — including
+# the package path — becomes test-binary arguments for the *current
+# directory's* package.
 SOAKTIME ?= 10s
 soak:
-	$(GO) test -race -run='^TestSoak' -v -soak=$(SOAKTIME) ./internal/serve
+	$(GO) test -race -run='^TestSoak' -v ./internal/serve -soak=$(SOAKTIME)
+
+# study-smoke runs both pgstudy workload studies at short horizons on a
+# generated grid: a 30-step transient (asserting the factorize-once
+# amortization path end to end) and a 16-sample Monte Carlo with
+# open-circuit failures and load jitter (exercising fingerprint-grouped
+# preparation reuse). Seconds of wall time; exits non-zero on any solve
+# failure.
+study-smoke:
+	$(GO) run ./cmd/pgstudy transient -nx 24 -ny 24 -steps 30
+	$(GO) run ./cmd/pgstudy mc -nx 24 -ny 24 -samples 16 -failcands 4 -failprob 0.25
 
 # load is a quick in-process pgload run at 2x admission capacity: watch
 # the shed rate engage while p99 stays bounded.
@@ -131,7 +146,7 @@ bench:
 # (cmd/pgbench). BENCH_POINT numbers the point (BENCH_<n>.json, one per
 # growth step, committed); BENCH_SCALE trades fidelity for wall time —
 # 0.35 runs the full grid in well under a minute on a laptop.
-BENCH_POINT ?= 9
+BENCH_POINT ?= 10
 BENCH_SCALE ?= 0.35
 bench-json:
 	$(GO) run ./cmd/pgbench -point $(BENCH_POINT) -scale $(BENCH_SCALE) -o BENCH_$(BENCH_POINT).json

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 
 	"powerrchol"
 	"powerrchol/internal/cases"
+	"powerrchol/internal/workload"
 )
 
 // benchSchema identifies the report layout. Bump only on breaking field
@@ -44,6 +46,10 @@ type report struct {
 	Config  benchConfig `json:"config"`
 	Cases   []caseInfo  `json:"cases"`
 	Results []runResult `json:"results"`
+	// Workloads holds the many-solve study measurements (transient and
+	// Monte Carlo through the session layer), present since point 10.
+	// The section is additive: readers of older points see it absent.
+	Workloads []workloadResult `json:"workloads,omitempty"`
 	// PeakRSSBytes is the process high-water RSS (VmHWM) after the whole
 	// run, 0 where /proc is unavailable. Process-wide, not per-result:
 	// the kernel's counter is monotone.
@@ -68,6 +74,9 @@ type benchConfig struct {
 	Cases      []string `json:"-"`
 	Methods    []string `json:"-"`
 	IndexModes []string `json:"index_modes"`
+	// Workloads toggles the per-case study measurements (transient and
+	// Monte Carlo).
+	Workloads bool `json:"workloads"`
 }
 
 type caseInfo struct {
@@ -109,6 +118,36 @@ type runResult struct {
 	Error string `json:"error,omitempty"`
 }
 
+// workloadResult is one many-solve study measurement per case: how the
+// factorization amortizes over a stream of right-hand sides. The
+// studies run the paper's headline method through the session layer —
+// the same code path pgstudy and the pgserved study endpoint use.
+type workloadResult struct {
+	Case string `json:"case"`
+	Kind string `json:"kind"` // transient | mc
+
+	Steps   int `json:"steps,omitempty"`
+	Samples int `json:"samples,omitempty"`
+	// Groups/ReuseHits report Monte Carlo preparation sharing across
+	// fingerprint-identical topologies.
+	Groups    int `json:"groups,omitempty"`
+	ReuseHits int `json:"reuse_hits,omitempty"`
+
+	Preparations    int `json:"preparations"`
+	TotalIterations int `json:"total_iterations"`
+
+	SetupNS int64 `json:"setup_ns"`
+	SolveNS int64 `json:"solve_ns"`
+
+	// Peak is the study's headline scalar (peak waveform metric for
+	// transient, peak worst-case drop for mc); FP pins the full study
+	// statistics (wave or stats fingerprint, hexadecimal).
+	Peak float64 `json:"peak"`
+	FP   string  `json:"fp"`
+
+	Error string `json:"error,omitempty"`
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
@@ -128,6 +167,7 @@ func run(argv []string, stdout io.Writer) error {
 	maxIter := fs.Int("maxiter", 500, "PCG iteration cap")
 	seed := fs.Uint64("seed", 2024, "randomized factorization seed")
 	workers := fs.Int("workers", 0, "parallel kernel workers (0 = serial, the paper's configuration)")
+	workloads := fs.Bool("workloads", true, "measure the many-solve workload studies (transient, Monte Carlo) per case")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -141,6 +181,7 @@ func run(argv []string, stdout io.Writer) error {
 		Cases:      splitList(*caseList),
 		Methods:    splitList(*methodList),
 		IndexModes: splitList(*indexList),
+		Workloads:  *workloads,
 	}
 	rep, err := runBench(cfg, os.Stderr)
 	if err != nil {
@@ -231,6 +272,9 @@ func runBench(cfg benchConfig, progress io.Writer) (*report, error) {
 			for _, mode := range modes {
 				rep.Results = append(rep.Results, runOne(p, mi, mode, cfg))
 			}
+		}
+		if cfg.Workloads {
+			rep.Workloads = append(rep.Workloads, runWorkloads(c.Name, p, cfg)...)
 		}
 	}
 	rep.PeakRSSBytes = readProcStatusKB("VmHWM:")
@@ -356,6 +400,60 @@ func runOne(p *cases.Problem, mi powerrchol.MethodInfo, mode powerrchol.IndexMod
 	return rr
 }
 
+// runWorkloads measures the two many-solve studies on one case with the
+// paper's headline method: a 30-step step-response transient (one
+// factorization amortized over every step, warm-started) and a
+// 16-sample Monte Carlo ensemble mixing open-circuit line failures with
+// load jitter (preparations shared across fingerprint-identical
+// topologies). Study sizes are fixed so the numbers are comparable
+// across trajectory points; failures land in the Error field like any
+// other per-run failure.
+func runWorkloads(caseName string, p *cases.Problem, cfg benchConfig) []workloadResult {
+	opt := powerrchol.Options{
+		Method:  powerrchol.MethodPowerRChol,
+		Tol:     cfg.Tol,
+		MaxIter: cfg.MaxIter,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+	}
+	ctx := context.Background()
+	out := make([]workloadResult, 0, 2)
+
+	tw := workloadResult{Case: caseName, Kind: "transient"}
+	if tr, err := workload.SystemTransient(ctx, p.Sys, p.B, workload.StepStudySpec{Steps: 30}, opt); err != nil {
+		tw.Error = err.Error()
+	} else {
+		tw.Steps = tr.Steps
+		tw.Preparations = tr.Preparations
+		tw.TotalIterations = tr.TotalIterations
+		tw.SetupNS = tr.SetupTime.Nanoseconds()
+		tw.SolveNS = tr.SolveTime.Nanoseconds()
+		tw.Peak = tr.Peak
+		tw.FP = strconv.FormatUint(tr.WaveFP, 16)
+	}
+	out = append(out, tw)
+
+	mw := workloadResult{Case: caseName, Kind: "mc"}
+	spec := workload.MCSpec{
+		Samples: 16, Seed: cfg.Seed,
+		FailCandidates: 4, FailProb: 0.25, LoadSigma: 0.2,
+	}
+	if mc, err := workload.MonteCarlo(ctx, p.Sys, p.B, spec, opt); err != nil {
+		mw.Error = err.Error()
+	} else {
+		mw.Samples = mc.Samples
+		mw.Groups = mc.Groups
+		mw.ReuseHits = mc.ReuseHits
+		mw.Preparations = mc.Preparations
+		mw.TotalIterations = mc.TotalIterations
+		mw.SetupNS = mc.SetupTime.Nanoseconds()
+		mw.SolveNS = mc.SolveTime.Nanoseconds()
+		mw.Peak = mc.Peak
+		mw.FP = strconv.FormatUint(mc.StatsFP, 16)
+	}
+	return append(out, mw)
+}
+
 // heapSampler polls runtime.MemStats.HeapAlloc on a fixed interval and
 // keeps the maximum — the "peak heap" a solve actually reached, which
 // the before/after deltas alone cannot see (a transient double-buffer
@@ -440,6 +538,18 @@ func deterministicSubset(rep *report) *report {
 			Method:    rr.Method,
 			IndexMode: rr.IndexMode,
 		}
+	}
+	out.Workloads = make([]workloadResult, len(rep.Workloads))
+	for i, wr := range rep.Workloads {
+		out.Workloads[i] = workloadResult{
+			Case:    wr.Case,
+			Kind:    wr.Kind,
+			Steps:   wr.Steps,
+			Samples: wr.Samples,
+		}
+	}
+	if len(out.Workloads) == 0 {
+		out.Workloads = nil
 	}
 	return &out
 }

@@ -28,6 +28,7 @@ func goldenConfig() benchConfig {
 		Cases:      []string{"ibmpg3"},
 		Methods:    []string{"powerrchol", "direct"},
 		IndexModes: []string{"wide", "compact"},
+		Workloads:  true,
 	}
 }
 
@@ -117,6 +118,37 @@ func TestReportFieldsPopulated(t *testing.T) {
 	}
 	if rep.Env.GoVersion == "" || rep.Env.NumCPU == 0 {
 		t.Errorf("env not populated: %+v", rep.Env)
+	}
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("got %d workload results, want 2 (transient + mc per case)", len(rep.Workloads))
+	}
+	for _, wr := range rep.Workloads {
+		if wr.Error != "" {
+			t.Errorf("workload %s/%s failed: %s", wr.Case, wr.Kind, wr.Error)
+			continue
+		}
+		if wr.Preparations == 0 || wr.TotalIterations == 0 || wr.SolveNS <= 0 || wr.FP == "" {
+			t.Errorf("workload %s/%s: volatile fields not populated: preps=%d iters=%d solve_ns=%d fp=%q",
+				wr.Case, wr.Kind, wr.Preparations, wr.TotalIterations, wr.SolveNS, wr.FP)
+		}
+		switch wr.Kind {
+		case "transient":
+			// Factorize-once: one preparation amortized over the
+			// whole step sequence.
+			if wr.Steps == 0 || wr.Preparations != 1 {
+				t.Errorf("transient %s: steps=%d preparations=%d, want steps>0 and exactly 1 preparation",
+					wr.Case, wr.Steps, wr.Preparations)
+			}
+		case "mc":
+			// Fingerprint grouping must collapse the sample set into
+			// fewer factorizations than samples.
+			if wr.Samples == 0 || wr.Groups == 0 || wr.Groups >= wr.Samples {
+				t.Errorf("mc %s: samples=%d groups=%d, want 0 < groups < samples",
+					wr.Case, wr.Samples, wr.Groups)
+			}
+		default:
+			t.Errorf("unknown workload kind %q", wr.Kind)
+		}
 	}
 }
 

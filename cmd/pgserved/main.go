@@ -9,6 +9,8 @@
 //
 //	POST /v1/grids   ingest a grid; returns its fingerprint
 //	POST /v1/solve   solve one RHS against an ingested grid
+//	POST /v1/study   run a bounded workload study (transient or Monte
+//	                 Carlo) against an ingested grid
 //	GET  /healthz    liveness (200 while the process runs)
 //	GET  /readyz     readiness (503 while draining or under critical load)
 //	GET  /statsz     counters, latency quantiles, cache and queue state
@@ -59,6 +61,8 @@ func run() error {
 		maxBytes    = flag.Int64("max-request-bytes", 8<<20, "solve request body limit")
 		maxIngest   = flag.Int64("max-ingest-bytes", 256<<20, "grid ingest body limit")
 		maxNodes    = flag.Int("max-nodes", 4<<20, "largest accepted grid node count")
+		studySteps  = flag.Int("max-study-steps", 200, "transient steps one study request may schedule")
+		studySmpls  = flag.Int("max-study-samples", 64, "Monte Carlo samples one study request may schedule")
 		drainFor    = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	)
 	flag.Parse()
@@ -88,6 +92,8 @@ func run() error {
 		MaxRequestBytes:  *maxBytes,
 		MaxIngestBytes:   *maxIngest,
 		MaxNodes:         *maxNodes,
+		MaxStudySteps:    *studySteps,
+		MaxStudySamples:  *studySmpls,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

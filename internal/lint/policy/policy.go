@@ -61,6 +61,14 @@ var orchestration = []string{
 	// is an outage, not a style nit.
 	"internal/serve",
 	"cmd/pgserved",
+	// The prepared-solve session layer and the workload studies built on
+	// it (transient, Monte Carlo): they own the RHS-stream machinery —
+	// batch dispatchers, ensemble fan-out, ctx-polled step loops — and
+	// their study statistics carry the same bitwise-per-seed contract
+	// the kernels do, so detflow sweeps them too.
+	"internal/session",
+	"internal/workload",
+	"cmd/pgstudy",
 }
 
 // randSanctioned lists the packages allowed to import math/rand: only the

@@ -120,10 +120,25 @@ type Runner struct {
 	pending   Attempt // attempt record of the setup Next last returned
 }
 
-// NewRunner resolves cfg against the method registry and lays out the
-// plan. It fails fast on an unknown method or transform, and on a
+// Plan is a compiled setup plan: the method registry resolution,
+// transform stage and recovery-ladder rung layout for one Config,
+// independent of any particular system. Compiling once and stamping
+// runners out of it amortizes the resolution across many systems — the
+// Monte Carlo workload shape, where hundreds of perturbed samples share
+// one solver configuration and fingerprint-identical samples additionally
+// share whole prepared solvers. A Plan is immutable and safe for
+// concurrent NewRunner calls.
+type Plan struct {
+	cfg       Config
+	spec      *Spec
+	transform Transformer
+	rungs     []rung
+}
+
+// Compile resolves cfg against the method registry and lays the rungs
+// out. It fails fast on an unknown method or transform, and on a
 // contraction-bearing plan when cfg.Prepared is set.
-func NewRunner(sys *graph.SDDM, cfg Config) (*Runner, error) {
+func Compile(cfg Config) (*Plan, error) {
 	spec, err := specFor(cfg.Method)
 	if err != nil {
 		return nil, err
@@ -135,17 +150,39 @@ func NewRunner(sys *graph.SDDM, cfg Config) (*Runner, error) {
 	if cfg.Prepared && resolved == TransformMerge {
 		return nil, errContracts(cfg)
 	}
-	r := &Runner{sys: sys, cfg: cfg, spec: spec, transform: transform}
+	p := &Plan{cfg: cfg, spec: spec, transform: transform}
 	if spec.Ladder {
-		r.plan = attemptPlan(cfg)
-		return r, nil
+		p.rungs = attemptPlan(cfg)
+		return p, nil
 	}
 	ordering := cfg.Ordering
 	if ordering == OrderDefault {
 		ordering = spec.DefaultOrdering
 	}
-	r.plan = []rung{{method: cfg.Method, ordering: ordering, seed: cfg.Seed}}
-	return r, nil
+	p.rungs = []rung{{method: cfg.Method, ordering: ordering, seed: cfg.Seed}}
+	return p, nil
+}
+
+// Rungs reports how many attempts the plan lays out (1 without
+// recovery; the full ladder depth with it).
+func (p *Plan) Rungs() int { return len(p.rungs) }
+
+// NewRunner stamps a runner for sys out of the compiled plan. The
+// runner starts at the first rung with an empty trail; the plan's rung
+// slice is shared read-only across runners.
+func (p *Plan) NewRunner(sys *graph.SDDM) *Runner {
+	return &Runner{sys: sys, cfg: p.cfg, spec: p.spec, transform: p.transform, plan: p.rungs}
+}
+
+// NewRunner compiles cfg and stamps a runner for sys — the one-shot
+// path. Callers preparing many systems with one configuration should
+// Compile once and stamp runners from the plan instead.
+func NewRunner(sys *graph.SDDM, cfg Config) (*Runner, error) {
+	p, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.NewRunner(sys), nil
 }
 
 func errContracts(cfg Config) error {

@@ -1,6 +1,7 @@
 package powergrid
 
 import (
+	"context"
 	"fmt"
 
 	"powerrchol/internal/graph"
@@ -159,6 +160,14 @@ func (w *loadWaveform) active(i, step int) bool {
 // the DC operating point of the unloaded grid (all nodes at Vdd), using
 // solve for the per-step linear systems.
 func (g *Grid) RunTransient(ts TransientSpec, solve StepSolve) (*TransientResult, error) {
+	return g.RunTransientContext(context.Background(), ts, solve)
+}
+
+// RunTransientContext is RunTransient under a context: the step loop
+// polls ctx before every solve, so a cancelled or expired ctx aborts the
+// integration within one step (plus whatever cancellation latency the
+// StepSolve itself has).
+func (g *Grid) RunTransientContext(ctx context.Context, ts TransientSpec, solve StepSolve) (*TransientResult, error) {
 	if err := ts.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -178,6 +187,9 @@ func (g *Grid) RunTransient(ts TransientSpec, solve StepSolve) (*TransientResult
 	res := &TransientResult{}
 
 	for step := 1; step <= ts.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("powergrid: transient cancelled before step %d: %w", step, err)
+		}
 		for i := 0; i < n; i++ {
 			b[i] = caps[i] / ts.TimeStep * v[i]
 		}

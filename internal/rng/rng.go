@@ -22,6 +22,26 @@ func New(seed uint64) *Rand {
 // Seed resets the generator state.
 func (r *Rand) Seed(seed uint64) { r.state = seed }
 
+// mix64 is the splitmix64 output function: a bijective avalanche mix,
+// used to derive well-separated substream states.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream returns an independent generator for substream i of seed. The
+// substream state is a full avalanche mix of (seed, i), so neighbouring
+// indices produce uncorrelated streams and Stream(seed, i) never
+// collides with the raw New(seed) sequence in practice. This is the
+// split-stream primitive parallel samplers rely on: give sample i its
+// own Stream(seed, i) and its draws are a pure function of (seed, i),
+// independent of scheduling, worker count, or how many draws other
+// samples consumed.
+func Stream(seed, i uint64) *Rand {
+	return &Rand{state: mix64(seed + 0x9e3779b97f4a7c15*(i+1))}
+}
+
 // Uint64 returns the next pseudo-random 64-bit value (splitmix64 step).
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

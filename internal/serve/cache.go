@@ -7,16 +7,19 @@ import (
 	"sync/atomic"
 
 	"powerrchol"
+	"powerrchol/internal/session"
 )
 
 // Prepared is one cached unit of serving state: the prepared solver and
-// its micro-batcher. The solver is immutable and safe for concurrent
-// use; the batcher serializes batch windows against it.
+// its micro-batcher (both owned by the shared session layer — this
+// package consumes the RHS-stream machinery, it no longer implements
+// it). The solver is immutable and safe for concurrent use; the batcher
+// serializes batch windows against it.
 type Prepared struct {
 	Solver *powerrchol.Solver
 	// Batch is attached by the server right after a successful build
 	// (before the cache publishes the entry) and stopped on eviction.
-	Batch *Batcher
+	Batch *session.Batcher
 	bytes int64
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"powerrchol"
 	"powerrchol/internal/graph"
+	"powerrchol/internal/session"
 )
 
 // Config parameterizes a Server. The zero value is usable: every knob
@@ -53,6 +54,12 @@ type Config struct {
 	// MaxNodes caps the declared node count of an ingested grid before
 	// any size-n allocation. Default 4Mi nodes.
 	MaxNodes int
+
+	// MaxStudySteps and MaxStudySamples clamp how much work one
+	// POST /v1/study request may schedule (transient steps, Monte Carlo
+	// samples). Defaults 200 and 64.
+	MaxStudySteps   int
+	MaxStudySamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxNodes <= 0 {
 		c.MaxNodes = 4 << 20
+	}
+	if c.MaxStudySteps <= 0 {
+		c.MaxStudySteps = 200
+	}
+	if c.MaxStudySamples <= 0 {
+		c.MaxStudySamples = 64
 	}
 	return c
 }
@@ -132,7 +145,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		}
 		// Stop waits for the in-flight window; detach it from the
 		// evicting request's latency path.
-		go p.Batch.Stop()
+		go p.Batch.Stop() //pglint:goroleak Stop blocks only on the current batch window draining, then returns; bounded by the window's solve deadline
 	})
 	return s
 }
@@ -144,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/grids", s.handleIngest)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/study", s.handleStudy)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statsz", s.handleStats)
@@ -356,7 +370,7 @@ func (s *Server) solve(ctx context.Context, level Level, gridFP uint64, sys *gra
 			if err != nil {
 				return nil, 0, err
 			}
-			batch := NewBatcher(solver, s.batchKnobs, func(width int) {
+			batch := session.NewBatcher(session.Wrap(solver), s.batchKnobs, func(width int) {
 				s.met.batches.Add(1)
 				s.met.batched.Add(int64(width))
 			})
@@ -368,7 +382,7 @@ func (s *Server) solve(ctx context.Context, level Level, gridFP uint64, sys *gra
 		}
 		//pglint:hotalloc one request envelope per submit, at most twice per request (rebuild-once)
 		res, width, err := p.Batch.Submit(ctx, b)
-		if errors.Is(err, ErrBatcherStopped) {
+		if errors.Is(err, session.ErrBatcherStopped) {
 			// Concurrent eviction stopped the batcher after we resolved
 			// the entry; the solver itself is still valid.
 			res, err := p.Solver.SolveContext(ctx, b)

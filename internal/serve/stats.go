@@ -23,6 +23,7 @@ type metrics struct {
 	batches   atomic.Int64 // micro-batch windows dispatched
 	batched   atomic.Int64 // right-hand sides carried by those windows
 	rebuilds  atomic.Int64 // cache entries rebuilt after a poisoned solve
+	studies   atomic.Int64 // workload studies admitted (POST /v1/study)
 
 	lat latencyRing
 }
@@ -39,6 +40,7 @@ type Stats struct {
 	Batches    int64 `json:"batches"`
 	BatchedRHS int64 `json:"batched_rhs"`
 	Rebuilds   int64 `json:"rebuilds"`
+	Studies    int64 `json:"studies"`
 
 	P50Micros int64 `json:"p50_us"`
 	P99Micros int64 `json:"p99_us"`
@@ -70,6 +72,7 @@ func (m *metrics) snapshot() Stats {
 		Batches:    m.batches.Load(),
 		BatchedRHS: m.batched.Load(),
 		Rebuilds:   m.rebuilds.Load(),
+		Studies:    m.studies.Load(),
 		P50Micros:  m.lat.quantile(0.50).Microseconds(),
 		P99Micros:  m.lat.quantile(0.99).Microseconds(),
 	}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postStudy(t *testing.T, url string, req StudyRequest) (*http.Response, StudyResponse, []byte) {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/study", req)
+	var out StudyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("study response: %v (%s)", err, body)
+		}
+	}
+	return resp, out, body
+}
+
+func TestStudyTransientRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: testOptions()})
+	grid, n := ingestTestGrid(t, ts.URL, 10, 10)
+
+	resp, out, body := postStudy(t, ts.URL, StudyRequest{
+		Grid: grid, Kind: "transient",
+		B:     testRHS(n, 3),
+		Steps: 12,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if out.Kind != "transient" || out.Steps != 12 {
+		t.Fatalf("bad response: %+v", out)
+	}
+	if out.Preparations != 1 {
+		t.Fatalf("transient study spent %d preparations, want 1", out.Preparations)
+	}
+	if out.WaveFP == "" || out.TotalIterations < out.Steps {
+		t.Fatalf("implausible study result: %+v", out)
+	}
+
+	// Same request again: the fingerprint must be bitwise stable.
+	resp2, out2, _ := postStudy(t, ts.URL, StudyRequest{
+		Grid: grid, Kind: "transient", B: testRHS(n, 3), Steps: 12,
+	})
+	if resp2.StatusCode != http.StatusOK || out2.WaveFP != out.WaveFP {
+		t.Fatalf("transient study not reproducible: %q vs %q", out2.WaveFP, out.WaveFP)
+	}
+}
+
+func TestStudyMonteCarloRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: testOptions()})
+	grid, n := ingestTestGrid(t, ts.URL, 10, 10)
+
+	req := StudyRequest{
+		Grid: grid, Kind: "mc",
+		B:       testRHS(n, 4),
+		Samples: 8, Seed: 11, FailProb: 0.5, FailCandidates: 2, LoadSigma: 0.1,
+	}
+	resp, out, body := postStudy(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if out.Samples != 8 || out.Groups < 1 || out.Groups > 4 {
+		t.Fatalf("bad mc response: %+v", out)
+	}
+	// The mc study has no known supply, so it adds one reference solve.
+	if out.Preparations != out.Groups+1 {
+		t.Fatalf("preparations %d, want groups+reference = %d", out.Preparations, out.Groups+1)
+	}
+	if out.ReuseHits != out.Samples-out.Groups {
+		t.Fatalf("reuse accounting: %+v", out)
+	}
+	if len(out.Quantiles) == 0 || out.StatsFP == "" {
+		t.Fatalf("missing statistics: %+v", out)
+	}
+	if got := s.Stats().Studies; got != 1 {
+		t.Fatalf("studies counter %d, want 1", got)
+	}
+
+	resp2, out2, _ := postStudy(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK || out2.StatsFP != out.StatsFP {
+		t.Fatalf("mc study not reproducible: %q vs %q", out2.StatsFP, out.StatsFP)
+	}
+}
+
+// TestStudyBounds: client-requested work above the server clamp runs at
+// the clamp, visibly.
+func TestStudyBounds(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: testOptions(), MaxStudySteps: 5, MaxStudySamples: 3})
+	grid, n := ingestTestGrid(t, ts.URL, 8, 8)
+
+	resp, out, body := postStudy(t, ts.URL, StudyRequest{
+		Grid: grid, Kind: "transient", B: testRHS(n, 5), Steps: 500,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if out.Steps != 5 {
+		t.Fatalf("steps %d, want clamped to 5", out.Steps)
+	}
+
+	resp, out, body = postStudy(t, ts.URL, StudyRequest{
+		Grid: grid, Kind: "mc", B: testRHS(n, 5), Samples: 100, LoadSigma: 0.1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if out.Samples != 3 {
+		t.Fatalf("samples %d, want clamped to 3", out.Samples)
+	}
+}
+
+func TestStudyRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: testOptions()})
+	grid, n := ingestTestGrid(t, ts.URL, 8, 8)
+
+	cases := []struct {
+		name string
+		req  StudyRequest
+		want int
+	}{
+		{"unknown kind", StudyRequest{Grid: grid, Kind: "dc", B: testRHS(n, 1)}, http.StatusBadRequest},
+		{"no rhs", StudyRequest{Grid: grid, Kind: "mc"}, http.StatusBadRequest},
+		{"bad prob", StudyRequest{Grid: grid, Kind: "mc", B: testRHS(n, 1), FailProb: 2}, http.StatusBadRequest},
+		{"negative sigma via NaN guard", StudyRequest{Grid: grid, Kind: "mc", B: testRHS(n, 1), LoadSigma: -1}, http.StatusBadRequest},
+		{"unknown grid", StudyRequest{Grid: "deadbeef", Kind: "mc", B: testRHS(n, 1)}, http.StatusNotFound},
+		{"wrong rhs length", StudyRequest{Grid: grid, Kind: "transient", B: testRHS(n+1, 1)}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _, body := postStudy(t, ts.URL, c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
+// TestStudyRefusedWhileDraining: the drain barrier covers studies.
+func TestStudyRefusedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: testOptions()})
+	grid, n := ingestTestGrid(t, ts.URL, 8, 8)
+	s.draining.Store(true)
+	defer s.draining.Store(false)
+
+	body, _ := json.Marshal(StudyRequest{Grid: grid, Kind: "transient", B: testRHS(n, 1)})
+	resp, err := http.Post(ts.URL+"/v1/study", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining study status %d, want 503", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "drain") {
+		t.Fatalf("unexpected error body: %s", buf.String())
+	}
+}

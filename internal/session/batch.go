@@ -1,4 +1,4 @@
-package serve
+package session
 
 import (
 	"context"
@@ -13,26 +13,26 @@ import (
 // ErrBatcherStopped reports a submit against a stopped batcher (the
 // entry was evicted or the server is draining). Callers fall back to a
 // direct solve or re-resolve the cache.
-var ErrBatcherStopped = errors.New("serve: batcher stopped")
+var ErrBatcherStopped = errors.New("session: batcher stopped")
 
 // Batcher aggregates concurrent single-RHS solve requests against one
-// prepared solver into SolveBatchContext windows. A window closes when
-// it reaches its width bound or its delay bound, whichever first; the
-// knobs come from a callback so the degradation ladder can narrow them
+// prepared session into Ensemble windows. A window closes when it
+// reaches its width bound or its delay bound, whichever first; the
+// knobs come from a callback so a degradation ladder can narrow them
 // per window without restarting the dispatcher. Batching is purely an
 // amortization: every response is bitwise identical to a one-shot
 // Solver.Solve of the same right-hand side (the SolveBatch contract),
-// which the soak test asserts end to end.
+// which the serve soak test asserts end to end.
 //
 // Lifecycle: Start spawns one dispatcher goroutine, tied to the ctx the
-// server passes (its lifetime context). Stop — or that ctx ending —
+// owner passes (its lifetime context). Stop — or that ctx ending —
 // terminates the dispatcher after the in-flight window completes;
 // submissions after that fail fast with ErrBatcherStopped. Every
 // submitted request gets exactly one response: the response channel is
 // buffered and owned by the dispatcher, so an abandoned client can
 // never block the dispatch loop.
 type Batcher struct {
-	solver *powerrchol.Solver
+	sess *Session
 	// knobs returns the current (maxWidth, maxDelay) window bounds.
 	knobs   func() (int, time.Duration)
 	onBatch func(width int)
@@ -58,13 +58,13 @@ type solveResp struct {
 	width int // the batch width this response was served in
 }
 
-// NewBatcher builds a batcher over solver. knobs must be non-nil and
+// NewBatcher builds a batcher over sess. knobs must be non-nil and
 // safe for concurrent use; it is consulted once per window. onBatch, if
-// non-nil, observes each dispatched window's width (the server feeds its
-// service-wide metrics this way, surviving batcher eviction).
-func NewBatcher(solver *powerrchol.Solver, knobs func() (int, time.Duration), onBatch func(width int)) *Batcher {
+// non-nil, observes each dispatched window's width (the serve layer
+// feeds its service-wide metrics this way, surviving batcher eviction).
+func NewBatcher(sess *Session, knobs func() (int, time.Duration), onBatch func(width int)) *Batcher {
 	return &Batcher{
-		solver:  solver,
+		sess:    sess,
 		knobs:   knobs,
 		onBatch: onBatch,
 		reqs:    make(chan *solveReq),
@@ -72,7 +72,10 @@ func NewBatcher(solver *powerrchol.Solver, knobs func() (int, time.Duration), on
 	}
 }
 
-// Start launches the dispatcher under ctx, the server's lifetime
+// Session returns the prepared session this batcher dispatches against.
+func (bt *Batcher) Session() *Session { return bt.sess }
+
+// Start launches the dispatcher under ctx, the owner's lifetime
 // context. It must be called exactly once, before the first Submit.
 func (bt *Batcher) Start(ctx context.Context) {
 	bt.wg.Add(1)
@@ -195,14 +198,14 @@ func (bt *Batcher) solve(ctx context.Context, members []*solveReq) {
 	if len(live) == 1 {
 		// A lone request skips the batch machinery: same solve path,
 		// same bits, one less indirection.
-		res, err := bt.solver.SolveContext(batchCtx, live[0].b)
+		res, err := bt.sess.Solve(batchCtx, live[0].b)
 		live[0].resp <- solveResp{res: res, err: err, width: 1}
 	} else {
 		rhs := make([][]float64, len(live))
 		for i, m := range live {
 			rhs[i] = m.b
 		}
-		results, err := bt.solver.SolveBatchContext(batchCtx, rhs)
+		results, err := bt.sess.Ensemble(batchCtx, rhs)
 		errs := batchErrs(err, len(live))
 		for i, m := range live {
 			m.resp <- solveResp{res: results[i], err: errs[i], width: len(live)}
@@ -212,8 +215,8 @@ func (bt *Batcher) solve(ctx context.Context, members []*solveReq) {
 	cancel()
 }
 
-// batchErrs explodes a SolveBatchContext error into per-member errors:
-// a *powerrchol.BatchError maps index-by-index, anything else applies to
+// batchErrs explodes an Ensemble error into per-member errors: a
+// *powerrchol.BatchError maps index-by-index, anything else applies to
 // every member.
 func batchErrs(err error, n int) []error {
 	out := make([]error, n)

@@ -1,4 +1,4 @@
-package serve
+package session
 
 import (
 	"context"
@@ -9,16 +9,32 @@ import (
 	"time"
 
 	"powerrchol"
+	"powerrchol/internal/rng"
+	"powerrchol/internal/testmat"
 )
 
-func newTestSolver(t *testing.T) *powerrchol.Solver {
-	t.Helper()
-	sys := testSystem(12, 12)
-	solver, err := powerrchol.NewSolver(sys, testOptions())
-	if err != nil {
-		t.Fatalf("NewSolver: %v", err)
+func testOptions() powerrchol.Options {
+	return powerrchol.Options{Method: powerrchol.MethodLTRChol, Seed: 7, Tol: 1e-10}
+}
+
+// testRHS builds a deterministic right-hand side of length n.
+func testRHS(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Float64() - 0.5
 	}
-	return solver
+	return b
+}
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	sys := testmat.GridSDDM(12, 12)
+	sess, err := Prepare(context.Background(), sys, testOptions())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return sess
 }
 
 func staticKnobs(width int, window time.Duration) func() (int, time.Duration) {
@@ -29,10 +45,10 @@ func staticKnobs(width int, window time.Duration) func() (int, time.Duration) {
 // through a micro-batch window are bit-for-bit the answers of one-shot
 // solves on the same solver.
 func TestBatcherBitwiseEqualsSolve(t *testing.T) {
-	solver := newTestSolver(t)
+	sess := newTestSession(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	bt := NewBatcher(solver, staticKnobs(8, 20*time.Millisecond), nil)
+	bt := NewBatcher(sess, staticKnobs(8, 20*time.Millisecond), nil)
 	bt.Start(ctx)
 	defer bt.Stop()
 
@@ -57,7 +73,7 @@ func TestBatcherBitwiseEqualsSolve(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("submit %d: %v", i, errs[i])
 		}
-		ref, err := solver.Solve(testRHS(n, uint64(100+i)))
+		ref, err := sess.Solver().Solve(testRHS(n, uint64(100+i)))
 		if err != nil {
 			t.Fatalf("referee %d: %v", i, err)
 		}
@@ -76,9 +92,9 @@ func TestBatcherBitwiseEqualsSolve(t *testing.T) {
 }
 
 func TestBatcherStopRejectsSubmits(t *testing.T) {
-	solver := newTestSolver(t)
+	sess := newTestSession(t)
 	ctx := context.Background()
-	bt := NewBatcher(solver, staticKnobs(4, time.Millisecond), nil)
+	bt := NewBatcher(sess, staticKnobs(4, time.Millisecond), nil)
 	bt.Start(ctx)
 	bt.Stop()
 	_, _, err := bt.Submit(ctx, testRHS(12*12, 1))
@@ -89,10 +105,10 @@ func TestBatcherStopRejectsSubmits(t *testing.T) {
 }
 
 func TestBatcherPreCancelledMember(t *testing.T) {
-	solver := newTestSolver(t)
+	sess := newTestSession(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	bt := NewBatcher(solver, staticKnobs(4, 50*time.Millisecond), nil)
+	bt := NewBatcher(sess, staticKnobs(4, 50*time.Millisecond), nil)
 	bt.Start(ctx)
 	defer bt.Stop()
 
@@ -110,10 +126,10 @@ func TestBatcherPreCancelledMember(t *testing.T) {
 // TestBatcherMidBatchCancellation cancels one member while its batch is
 // being collected; the peer must still get its (bitwise-correct) answer.
 func TestBatcherMidBatchCancellation(t *testing.T) {
-	solver := newTestSolver(t)
+	sess := newTestSession(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	bt := NewBatcher(solver, staticKnobs(4, 100*time.Millisecond), nil)
+	bt := NewBatcher(sess, staticKnobs(4, 100*time.Millisecond), nil)
 	bt.Start(ctx)
 	defer bt.Stop()
 
@@ -141,7 +157,7 @@ func TestBatcherMidBatchCancellation(t *testing.T) {
 		// exactly one response and the survivor's answer is right.
 		t.Log("cancelled member was served before cancellation landed")
 	}
-	ref, err := solver.Solve(testRHS(n, 11))
+	ref, err := sess.Solver().Solve(testRHS(n, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +169,9 @@ func TestBatcherMidBatchCancellation(t *testing.T) {
 }
 
 func TestBatcherDispatcherDiesWithContext(t *testing.T) {
-	solver := newTestSolver(t)
+	sess := newTestSession(t)
 	ctx, cancel := context.WithCancel(context.Background())
-	bt := NewBatcher(solver, staticKnobs(4, time.Millisecond), nil)
+	bt := NewBatcher(sess, staticKnobs(4, time.Millisecond), nil)
 	bt.Start(ctx)
 	cancel()
 	// After the lifetime ctx ends the dispatcher exits; Stop must not

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"powerrchol"
+	"powerrchol/internal/graph"
+	"powerrchol/internal/powergrid"
+	"powerrchol/internal/session"
+)
+
+// TransientSpec configures a transient study over a generated power
+// grid. The embedded powergrid spec owns the physics (capacitances,
+// step size, switching waveforms); this layer owns how the solves are
+// spent.
+type TransientSpec struct {
+	Grid powergrid.TransientSpec
+	// Cold disables warm-started steps: every step solves from a cold
+	// start, bitwise identical to one-shot solves (the referee mode for
+	// determinism tests). The default (false) warm-starts each step from
+	// the previous solution, which typically saves a third or more of
+	// the PCG iterations across a run.
+	Cold bool
+}
+
+// StepStudySpec configures a step-response transient over a bare SDDM
+// (netlist input or an ingested serve grid, where no Grid metadata
+// exists): uniform node capacitance, constant RHS switched on at t=0,
+// integrated from v=0 toward the DC solution.
+type StepStudySpec struct {
+	// Cap is the uniform per-node capacitance (F); default 1e-15.
+	Cap float64
+	// TimeStep is the backward-Euler step h (s); default 1e-11.
+	TimeStep float64
+	// Steps is the number of time steps; default 50.
+	Steps int
+	// Cold disables warm-started steps (see TransientSpec.Cold).
+	Cold bool
+}
+
+func (sp *StepStudySpec) setDefaults() error {
+	if sp.Cap == 0 {
+		sp.Cap = 1e-15
+	}
+	if sp.TimeStep == 0 {
+		sp.TimeStep = 1e-11
+	}
+	if sp.Steps == 0 {
+		sp.Steps = 50
+	}
+	if sp.Cap < 0 || sp.TimeStep < 0 || sp.Steps < 0 {
+		return fmt.Errorf("workload: negative step-study parameter")
+	}
+	return nil
+}
+
+// TransientReport is the study-level summary of a transient run: how
+// the factorization was amortized, what the waveform did, and a
+// fingerprint pinning the whole trajectory for golden tests.
+type TransientReport struct {
+	Steps int `json:"steps"`
+	// Preparations counts factorizations this study spent — the
+	// amortization contract says 1, independent of Steps.
+	Preparations    int `json:"preparations"`
+	TotalIterations int `json:"total_iterations"`
+	// Waveform holds one scalar per step: the worst bottom-layer IR drop
+	// (grid studies) or the max per-node voltage delta (step-response
+	// studies, where it decays as the grid settles to DC).
+	Waveform []float64 `json:"-"`
+	Peak     float64   `json:"peak"`
+	PeakStep int       `json:"peak_step"`
+	// WaveFP pins Waveform and the final voltage vector together.
+	WaveFP    uint64        `json:"wave_fp"`
+	SetupTime time.Duration `json:"setup_ns"`
+	SolveTime time.Duration `json:"solve_ns"`
+	FinalV    []float64     `json:"-"`
+	// Grid carries the per-step detail of a grid study (nil for
+	// step-response studies).
+	Grid *powergrid.TransientResult `json:"-"`
+}
+
+func (tr *TransientReport) finish(waveform, finalV []float64, iters int) {
+	tr.Steps = len(waveform)
+	tr.TotalIterations = iters
+	tr.Waveform = waveform
+	tr.FinalV = finalV
+	tr.PeakStep = -1
+	for i, w := range waveform {
+		if w > tr.Peak {
+			tr.Peak, tr.PeakStep = w, i
+		}
+	}
+	tr.WaveFP = combineFP(
+		powerrchol.FingerprintVector(waveform),
+		powerrchol.FingerprintVector(finalV),
+	)
+}
+
+// Transient runs a backward-Euler transient study over a generated grid
+// through one prepared session: the companion matrix G + C/h is
+// factorized exactly once and every step is one warm-started solve
+// against it.
+func Transient(ctx context.Context, g *powergrid.Grid, spec TransientSpec, opt powerrchol.Options) (*TransientReport, error) {
+	sys, _, err := g.TransientSystem(spec.Grid)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := session.Prepare(ctx, sys, opt)
+	if err != nil {
+		return nil, fmt.Errorf("workload: transient prepare: %w", err)
+	}
+	seq := sess.Sequence(!spec.Cold)
+	start := time.Now()
+	res, err := g.RunTransientContext(ctx, spec.Grid, func(b []float64) ([]float64, int, error) {
+		r, err := seq.Step(ctx, b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r.X, r.Iterations, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := &TransientReport{
+		Preparations: 1,
+		SetupTime:    sess.Solver().SetupTimings().Total(),
+		SolveTime:    time.Since(start),
+		Grid:         res,
+	}
+	tr.finish(res.WorstDrop, res.FinalV, res.TotalIters)
+	return tr, nil
+}
+
+// SystemTransient runs a step-response transient over a bare SDDM: with
+// uniform node capacitance c and step h, integrate
+//
+//	(A + c/h·I)·v_{t+1} = c/h·v_t + b
+//
+// from v = 0. The waveform metric per step is the max per-node voltage
+// delta, which decays as the system settles to the DC solution A·v = b.
+// Like the grid study, the companion matrix is factorized exactly once.
+func SystemTransient(ctx context.Context, sys *graph.SDDM, b []float64, spec StepStudySpec, opt powerrchol.Options) (*TransientReport, error) {
+	if err := spec.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	if len(b) != n {
+		return nil, fmt.Errorf("workload: rhs has length %d, want %d", len(b), n)
+	}
+	ch := spec.Cap / spec.TimeStep
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = sys.D[i] + ch
+	}
+	be, err := graph.NewSDDM(sys.G, d)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := session.Prepare(ctx, be, opt)
+	if err != nil {
+		return nil, fmt.Errorf("workload: step-study prepare: %w", err)
+	}
+	seq := sess.Sequence(!spec.Cold)
+	start := time.Now()
+
+	v := make([]float64, n)
+	bt := make([]float64, n)
+	waveform := make([]float64, 0, spec.Steps)
+	iters := 0
+	for step := 1; step <= spec.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("workload: step study cancelled before step %d: %w", step, err)
+		}
+		for i := 0; i < n; i++ {
+			bt[i] = ch*v[i] + b[i]
+		}
+		r, err := seq.Step(ctx, bt)
+		if err != nil {
+			return nil, fmt.Errorf("workload: step study step %d: %w", step, err)
+		}
+		maxDelta := 0.0
+		for i, vi := range r.X {
+			if d := vi - v[i]; d > maxDelta {
+				maxDelta = d
+			} else if -d > maxDelta {
+				maxDelta = -d
+			}
+		}
+		waveform = append(waveform, maxDelta)
+		v = r.X
+		iters += r.Iterations
+	}
+	tr := &TransientReport{
+		Preparations: 1,
+		SetupTime:    sess.Solver().SetupTimings().Total(),
+		SolveTime:    time.Since(start),
+	}
+	tr.finish(waveform, v, iters)
+	return tr, nil
+}

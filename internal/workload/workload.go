@@ -1,0 +1,43 @@
+// Package workload implements the many-solve studies that reward
+// PowerRChol's cheap, strong preconditioner the most — the production
+// shapes ROADMAP item 4 names. A study is a bounded, deterministic,
+// ctx-cancellable run of many right-hand sides (and, for Monte Carlo,
+// many perturbed systems) against prepared factors owned by the shared
+// session layer:
+//
+//   - Transient: backward-Euler integration of an RC power grid. The
+//     companion model turns every timestep into a new RHS against one
+//     fixed SDDM, so the factorization is spent exactly once for all
+//     steps (session.Prepares observes this; the factorize-once test
+//     asserts it) and each step warm-starts from the previous solution.
+//   - MonteCarlo: what-if perturbation ensembles — resistor-value
+//     jitter, open-circuit line failures, load variation — sampled
+//     deterministically from split internal/rng streams, grouped by
+//     fingerprint-identical topology so repeated topologies reuse one
+//     preparation, solved in parallel through the session ensemble
+//     pool, and reduced to per-node voltage statistics that are bitwise
+//     reproducible per seed regardless of worker count.
+//
+// Everything a study reports that feeds a golden test is reduced in an
+// order fixed by the seed alone (sample index and first-appearance
+// group order), never by scheduling.
+package workload
+
+import (
+	"math"
+
+	"powerrchol"
+)
+
+// combineFP folds two fingerprints into one: FNV-64a over the pair's
+// bit patterns, matching the hashing family of the public fingerprint
+// API. Used to pin multi-vector study outputs (waveform + final state,
+// mean + σ) with a single golden value. The bits of each input are
+// reinterpreted (not converted) as float64, so the mapping is bijective
+// and no identity is lost.
+func combineFP(a, b uint64) uint64 {
+	return powerrchol.FingerprintVector([]float64{
+		math.Float64frombits(a),
+		math.Float64frombits(b),
+	})
+}

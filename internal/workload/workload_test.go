@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"powerrchol"
+	"powerrchol/internal/powergrid"
+	"powerrchol/internal/session"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func testGrid(t *testing.T, seed uint64) *powergrid.Grid {
+	t.Helper()
+	g, err := powergrid.Generate(powergrid.Spec{Name: "wl", NX: 16, NY: 16, Layers: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOptions() powerrchol.Options {
+	return powerrchol.Options{Method: powerrchol.MethodLTRChol, Tol: 1e-10, Seed: 7}
+}
+
+// TestTransientFactorizesOnce pins the amortization contract: a 50-step
+// transient study spends exactly one factorization, observed through
+// the session layer's preparation counter. This test must not run in
+// parallel with other tests of this package (the counter is
+// process-global).
+func TestTransientFactorizesOnce(t *testing.T) {
+	g := testGrid(t, 11)
+	spec := TransientSpec{Grid: powergrid.TransientSpec{Steps: 50, Seed: 3}}
+	before := session.Prepares()
+	tr, err := Transient(context.Background(), g, spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := session.Prepares() - before; delta != 1 {
+		t.Fatalf("50-step transient spent %d factorizations, want exactly 1", delta)
+	}
+	if tr.Steps != 50 || tr.Preparations != 1 {
+		t.Fatalf("report says steps=%d preparations=%d, want 50 and 1", tr.Steps, tr.Preparations)
+	}
+	if tr.TotalIterations < tr.Steps {
+		t.Fatalf("implausible iteration total %d for %d steps", tr.TotalIterations, tr.Steps)
+	}
+	if tr.Peak <= 0 || tr.PeakStep < 0 {
+		t.Fatalf("loaded grid reported no drop peak (peak=%g at %d)", tr.Peak, tr.PeakStep)
+	}
+}
+
+// TestTransientWarmSavesIterations: warm-started steps must cost no
+// more PCG iterations than cold starts on the same stream (both runs
+// are deterministic, so this is an exact comparison, not a flaky one).
+func TestTransientWarmSavesIterations(t *testing.T) {
+	g := testGrid(t, 12)
+	ts := powergrid.TransientSpec{Steps: 30, Seed: 4}
+	warm, err := Transient(context.Background(), g, TransientSpec{Grid: ts}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Transient(context.Background(), g, TransientSpec{Grid: ts, Cold: true}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TotalIterations > cold.TotalIterations {
+		t.Fatalf("warm starts cost %d iterations, cold %d — warm must not be worse",
+			warm.TotalIterations, cold.TotalIterations)
+	}
+	t.Logf("iterations: warm=%d cold=%d", warm.TotalIterations, cold.TotalIterations)
+}
+
+// TestTransientCancellation: a cancelled ctx aborts the step loop with
+// a context error.
+func TestTransientCancellation(t *testing.T) {
+	g := testGrid(t, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Transient(ctx, g, TransientSpec{Grid: powergrid.TransientSpec{Steps: 10, Seed: 1}}, testOptions())
+	if err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("cancelled transient returned %v", err)
+	}
+}
+
+// TestSystemTransientSettlesToDC: the step response over a bare SDDM
+// must decay toward the DC solution — the waveform metric (max per-step
+// delta) shrinks and the final state matches a one-shot solve.
+func TestSystemTransientSettlesToDC(t *testing.T) {
+	g := testGrid(t, 14)
+	spec := StepStudySpec{Steps: 40}
+	tr, err := SystemTransient(context.Background(), g.Sys, g.B, spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps != 40 || tr.Preparations != 1 {
+		t.Fatalf("steps=%d preparations=%d", tr.Steps, tr.Preparations)
+	}
+	first, last := tr.Waveform[0], tr.Waveform[len(tr.Waveform)-1]
+	if last >= first {
+		t.Fatalf("step response did not decay: first delta %g, last delta %g", first, last)
+	}
+	dc, err := powerrchol.Solve(g.Sys, g.B, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i, v := range tr.FinalV {
+		if d := math.Abs(v - dc.X[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Fatalf("final transient state is %g from the DC solution", worst)
+	}
+}
+
+// TestMonteCarloDeterministicAcrossWorkers is the study-level
+// worker-independence contract: the full reduced statistics must be
+// bitwise identical for every worker count, because sampling is
+// per-stream and reduction order is fixed by the seed. Run under -race
+// this also exercises the ensemble pool for data races.
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	g := testGrid(t, 15)
+	spec := MCSpec{
+		Samples:        16,
+		Seed:           99,
+		FailCandidates: 3,
+		FailProb:       0.4,
+		LoadSigma:      0.2,
+		DropThreshold:  0.01,
+	}
+	var ref *MCResult
+	for _, workers := range []int{1, 8} {
+		opt := testOptions()
+		opt.Workers = workers
+		res, err := MonteCarloGrid(context.Background(), g, spec, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.StatsFP != ref.StatsFP {
+			t.Fatalf("workers=8 stats fingerprint %016x != workers=1 %016x", res.StatsFP, ref.StatsFP)
+		}
+		for _, vec := range []struct {
+			name string
+			a, b []float64
+		}{
+			{"mean", res.Mean, ref.Mean},
+			{"std", res.Std, ref.Std},
+			{"maxdrop", res.MaxDrop, ref.MaxDrop},
+			{"worstdrop", res.WorstDrop, ref.WorstDrop},
+			{"exceedance", res.Exceedance, ref.Exceedance},
+		} {
+			for i := range vec.a {
+				if math.Float64bits(vec.a[i]) != math.Float64bits(vec.b[i]) {
+					t.Fatalf("%s[%d] differs across worker counts: %v vs %v", vec.name, i, vec.a[i], vec.b[i])
+				}
+			}
+		}
+		if res.TotalIterations != ref.TotalIterations || res.Groups != ref.Groups {
+			t.Fatalf("iteration/group counts differ across worker counts")
+		}
+	}
+}
+
+// TestMonteCarloPreparationReuse: toggle-only perturbations land on a
+// small set of topologies, so preparations must be shared across
+// samples (Groups ≤ 2^candidates ≪ Samples).
+func TestMonteCarloPreparationReuse(t *testing.T) {
+	g := testGrid(t, 16)
+	spec := MCSpec{Samples: 24, Seed: 5, FailCandidates: 2, FailProb: 0.5, LoadSigma: 0.1}
+	before := session.Prepares()
+	res, err := MonteCarloGrid(context.Background(), g, spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups > 4 {
+		t.Fatalf("2 failure candidates admit at most 4 topologies, got %d groups", res.Groups)
+	}
+	if res.ReuseHits != res.Samples-res.Groups {
+		t.Fatalf("reuse accounting: %d hits for %d samples in %d groups", res.ReuseHits, res.Samples, res.Groups)
+	}
+	if res.ReuseHits < res.Samples/2 {
+		t.Fatalf("expected strong reuse, got only %d hits of %d samples", res.ReuseHits, res.Samples)
+	}
+	if delta := session.Prepares() - before; delta != int64(res.Preparations) {
+		t.Fatalf("session counted %d preparations, report says %d", delta, res.Preparations)
+	}
+	if res.Preparations != res.Groups {
+		t.Fatalf("grid study (known Vdd) must spend exactly one preparation per group: %d vs %d",
+			res.Preparations, res.Groups)
+	}
+}
+
+// TestMonteCarloValueJitterStats: with resistor jitter every sample is
+// its own topology; the statistics must be sane (std > 0 somewhere,
+// quantiles ordered, peak consistent with the per-sample worst drops).
+func TestMonteCarloValueJitterStats(t *testing.T) {
+	g := testGrid(t, 17)
+	spec := MCSpec{Samples: 8, Seed: 6, ResistorSigma: 0.1}
+	res, err := MonteCarloGrid(context.Background(), g, spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != res.Samples {
+		t.Fatalf("value jitter must make every sample unique: %d groups for %d samples", res.Groups, res.Samples)
+	}
+	anyStd := false
+	for _, s := range res.Std {
+		if s > 0 {
+			anyStd = true
+			break
+		}
+	}
+	if !anyStd {
+		t.Fatal("perturbed ensemble reported zero variance everywhere")
+	}
+	for i := 1; i < len(res.Quantiles); i++ {
+		if res.Quantiles[i].V < res.Quantiles[i-1].V {
+			t.Fatalf("quantiles out of order: %+v", res.Quantiles)
+		}
+	}
+	peak := math.Inf(-1)
+	for _, w := range res.WorstDrop {
+		if w > peak {
+			peak = w
+		}
+	}
+	if res.Peak != peak {
+		t.Fatalf("peak %g does not match worst-drop max %g", res.Peak, peak)
+	}
+}
+
+// TestMonteCarloReferenceSolve: without a known Vdd the study solves
+// the unperturbed system once as the reference — one extra preparation.
+func TestMonteCarloReferenceSolve(t *testing.T) {
+	g := testGrid(t, 18)
+	spec := MCSpec{Samples: 4, Seed: 7, LoadSigma: 0.2}
+	res, err := MonteCarlo(context.Background(), g.Sys, g.B, spec, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 1 {
+		t.Fatalf("load-only jitter shares one topology, got %d groups", res.Groups)
+	}
+	if res.Preparations != res.Groups+1 {
+		t.Fatalf("reference solve must add one preparation: %d vs groups %d", res.Preparations, res.Groups)
+	}
+}
+
+// TestWorkloadGolden pins the seed → study-statistics mapping for both
+// studies to a golden file, the same way the root package pins its
+// seed-state map. Regenerate with
+// `go test -run TestWorkloadGolden -update ./internal/workload/`
+// after an intentional change (and say so in the commit).
+func TestWorkloadGolden(t *testing.T) {
+	g := testGrid(t, 21)
+	var lines []string
+
+	tr, err := Transient(context.Background(), g,
+		TransientSpec{Grid: powergrid.TransientSpec{Steps: 20, Seed: 9}}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = append(lines, fmt.Sprintf("transient/seed=9 steps=%d wavefp=%016x", tr.Steps, tr.WaveFP))
+
+	st, err := SystemTransient(context.Background(), g.Sys, g.B, StepStudySpec{Steps: 20}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = append(lines, fmt.Sprintf("step-study steps=%d wavefp=%016x", st.Steps, st.WaveFP))
+
+	mc, err := MonteCarloGrid(context.Background(), g,
+		MCSpec{Samples: 12, Seed: 10, FailCandidates: 3, FailProb: 0.3, LoadSigma: 0.15}, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = append(lines, fmt.Sprintf("mc/seed=10 groups=%d statsfp=%016x", mc.Groups, mc.StatsFP))
+
+	got := strings.Join(lines, "\n") + "\n"
+	golden := filepath.Join("testdata", "workload.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("workload fingerprints changed — a study altered what a seed produces.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMCSpecValidation rejects out-of-range knobs.
+func TestMCSpecValidation(t *testing.T) {
+	g := testGrid(t, 19)
+	bad := []MCSpec{
+		{Samples: -1},
+		{FailProb: 1.5},
+		{FailProb: 0.5, FailCandidates: -2},
+		{ResistorSigma: -0.1},
+		{FailFactor: 0.5},
+		{Quantiles: []float64{1.5}},
+	}
+	for i, spec := range bad {
+		if _, err := MonteCarloGrid(context.Background(), g, spec, testOptions()); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}

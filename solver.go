@@ -68,16 +68,51 @@ func NewSolver(sys *graph.SDDM, opt Options) (*Solver, error) {
 // ctx aborts the setup pipeline (transform, ordering and factorization
 // all poll it) promptly.
 func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solver, error) {
-	if err := opt.validate(); err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	r, err := pipeline.NewRunner(sys, opt.pipelineConfig(true))
+	plan, err := CompilePlan(opt)
 	if err != nil {
 		return nil, err
 	}
+	return NewSolverFromPlan(ctx, sys, plan)
+}
+
+// SolverPlan is a compiled solver configuration: the validated options
+// plus the pipeline's resolved method registry entry and recovery-ladder
+// rung layout, independent of any particular system. Compile once,
+// prepare many — the Monte Carlo workload shape, where every perturbed
+// sample shares one configuration. A SolverPlan is immutable and safe
+// for concurrent use.
+type SolverPlan struct {
+	opt  Options
+	plan *pipeline.Plan
+}
+
+// Options returns the validated (default-normalized) options the plan
+// was compiled from.
+func (p *SolverPlan) Options() Options { return p.opt }
+
+// CompilePlan validates opt and resolves it against the method registry
+// once, for reuse across many NewSolverFromPlan calls. Plans reject the
+// same configurations NewSolver would (contraction-bearing transforms).
+func CompilePlan(opt Options) (*SolverPlan, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	plan, err := pipeline.Compile(opt.pipelineConfig(true))
+	if err != nil {
+		return nil, err
+	}
+	return &SolverPlan{opt: opt, plan: plan}, nil
+}
+
+// NewSolverFromPlan builds a prepared solver for sys from a compiled
+// plan, skipping the per-call registry resolution. Identical in every
+// observable way to NewSolverContext with the plan's options.
+func NewSolverFromPlan(ctx context.Context, sys *graph.SDDM, plan *SolverPlan) (*Solver, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := plan.opt
+	r := plan.plan.NewRunner(sys)
 	setup, err := r.Next(ctx)
 	if err != nil {
 		if ctxDone(err) || !r.Ladder() {
@@ -117,6 +152,9 @@ func NewSolverContext(ctx context.Context, sys *graph.SDDM, opt Options) (*Solve
 func (s *Solver) SetupTimings() Timings {
 	return Timings{Reorder: s.setupReorder, Factorize: s.setupFactorize}
 }
+
+// N reports the system dimension (the length Solve expects of b).
+func (s *Solver) N() int { return s.sys.N() }
 
 // FactorNNZ reports |L| (0 for AMG/Jacobi).
 func (s *Solver) FactorNNZ() int { return s.factorNNZ }
